@@ -1,0 +1,114 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared experiment context for the bench harness: builds the simulated
+/// HiKey970, the model zoo, the embedding tensor, and (on demand) a trained
+/// throughput estimator with the paper's design-time settings (500 random
+/// workloads, 400/100 split, L1 loss, 100 epochs).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "core/dataset.hpp"
+#include "core/omniboost.hpp"
+#include "nn/loss.hpp"
+#include "sched/baseline.hpp"
+#include "sched/ga.hpp"
+#include "sched/mosaic.hpp"
+#include "sim/analytic.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace omniboost::bench {
+
+/// Everything an experiment needs, built once per binary.
+class Context {
+ public:
+  Context()
+      : device_(device::make_hikey970()),
+        cost_(device_),
+        embedding_(zoo_, cost_),
+        board_(device_) {}
+
+  const models::ModelZoo& zoo() const { return zoo_; }
+  const device::DeviceSpec& device() const { return device_; }
+  const device::CostModel& cost() const { return cost_; }
+  const core::EmbeddingTensor& embedding() const { return embedding_; }
+  const sim::DesSimulator& board() const { return board_; }
+
+  /// Trains the estimator for the scheduling experiments; returns the loss
+  /// history. Idempotent — subsequent calls reuse the model.
+  ///
+  /// Default campaign: 1500 workloads (3x the paper's 500). The simulated
+  /// board's throughput surface needs the larger design-time campaign to
+  /// reach the estimator accuracy the paper reports from real-board data;
+  /// EXPERIMENTS.md documents the deviation. Fig. 4 reproduces the paper's
+  /// exact 500/400/100 training by passing explicit arguments.
+  nn::TrainHistory train_estimator(std::size_t samples = 1500,
+                                   std::size_t val_count = 300,
+                                   std::size_t epochs = 100,
+                                   std::uint64_t seed = 42) {
+    if (estimator_) return history_;
+    // The OMNIBOOST_ESTIMATOR_CACHE environment variable points at a weight
+    // file reused across bench binaries (the design-time/run-time split:
+    // train once, deploy everywhere). Only the default campaign is cached —
+    // explicit-parameter callers (Fig. 4) always train and return a real
+    // loss history.
+    const bool default_campaign =
+        samples == 1500 && val_count == 300 && epochs == 100 && seed == 42;
+    const char* cache = std::getenv("OMNIBOOST_ESTIMATOR_CACHE");
+    if (cache != nullptr && default_campaign) {
+      std::ifstream probe(cache, std::ios::binary);
+      if (probe) {
+        estimator_ = std::make_shared<const core::ThroughputEstimator>(
+            core::ThroughputEstimator::load(probe));
+        return history_;  // empty: no training happened
+      }
+    }
+    core::DatasetConfig dc;
+    dc.samples = samples;
+    dc.seed = seed;
+    const core::SampleSet data =
+        core::generate_dataset(zoo_, embedding_, board_, dc);
+    auto est = std::make_shared<core::ThroughputEstimator>(
+        embedding_.models_dim(), embedding_.layers_dim());
+    nn::L1Loss l1;
+    nn::TrainConfig tc;
+    tc.epochs = epochs;
+    history_ = est->fit(data, val_count, l1, tc);
+    if (cache != nullptr && default_campaign) est->save_file(cache);
+    estimator_ = est;
+    return history_;
+  }
+
+  std::shared_ptr<const core::ThroughputEstimator> estimator() {
+    train_estimator();
+    return estimator_;
+  }
+
+  /// Measured average throughput T of a mapping on the simulated board.
+  double measure(const workload::Workload& w, const sim::Mapping& m) const {
+    return board_.simulate(w.resolve(zoo_), m).avg_throughput;
+  }
+
+ private:
+  models::ModelZoo zoo_;
+  device::DeviceSpec device_;
+  device::CostModel cost_;
+  core::EmbeddingTensor embedding_;
+  sim::DesSimulator board_;
+  std::shared_ptr<const core::ThroughputEstimator> estimator_;
+  nn::TrainHistory history_;
+};
+
+/// Prints a standard experiment banner.
+inline void banner(const char* experiment, const char* paper_ref,
+                   std::uint64_t seed) {
+  std::printf("=== OmniBoost reproduction: %s ===\n", experiment);
+  std::printf("paper reference: %s | substrate: simulated HiKey970 | seed: %llu\n\n",
+              paper_ref, static_cast<unsigned long long>(seed));
+}
+
+}  // namespace omniboost::bench

@@ -1,0 +1,49 @@
+/// \file bench_fig4_estimator_training.cpp
+/// Regenerates Figure 4 (§V): training and validation L1-loss curves of the
+/// throughput estimator over 100 epochs on the 500-workload design-time
+/// dataset (400 train / 100 validation).
+///
+/// Paper shape to reproduce: both curves fall from ~0.3 and flatten near
+/// ~0.1-0.15 with a modest train/validation gap; wall-clock training time
+/// under a minute.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+
+using namespace omniboost;
+
+int main() {
+  constexpr std::uint64_t kSeed = 42;
+  bench::banner("Fig. 4 — estimator training curves", "Figure 4, Section V",
+                kSeed);
+
+  bench::Context ctx;
+  std::printf("estimator: ResNet9-style CNN, GELU, %zu trainable parameters "
+              "(paper: 20,044)\n",
+              core::ThroughputEstimator(ctx.embedding().models_dim(),
+                                        ctx.embedding().layers_dim())
+                  .num_params());
+  std::printf("dataset: 500 random mixes of 1-5 DNNs, 400 train / 100 val, "
+              "L1 loss, Adam, 100 epochs\n\n");
+
+  const auto start = std::chrono::steady_clock::now();
+  const nn::TrainHistory h = ctx.train_estimator(500, 100, 100, kSeed);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  util::Table t({"epoch", "train loss", "validation loss"});
+  for (std::size_t e = 0; e < h.train_loss.size(); ++e) {
+    if (e % 5 != 0 && e + 1 != h.train_loss.size()) continue;  // readable
+    t.add_row(std::to_string(e + 1), {h.train_loss[e], h.val_loss[e]}, 4);
+  }
+  t.print(std::cout);
+
+  std::printf("\nfinal: train=%.4f val=%.4f | training wall-clock: %.1fs "
+              "(paper: under a minute on a GTX 1660 Ti)\n",
+              h.train_loss.back(), h.val_loss.back(), seconds);
+  std::printf("paper check: validation loss flattens near ~0.12; convergence "
+              "without divergence or oscillation\n");
+  return 0;
+}

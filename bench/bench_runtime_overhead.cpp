@@ -1,0 +1,116 @@
+/// \file bench_runtime_overhead.cpp
+/// Regenerates the §V-B run-time comparison with google-benchmark: the
+/// decision latency of each scheduler on a fixed 4-DNN mix, plus the one-off
+/// costs the paper discusses (MOSAIC's 14k-point data collection, the GA's
+/// per-mix on-board retraining, OmniBoost's 500 estimator queries).
+///
+/// Paper shape to reproduce: Baseline ~ 0; MOSAIC inference fast (~1 s on
+/// the board) but with a large offline collection cost; GA minutes per mix
+/// (board time); OmniBoost a constant 500-query search (~30 s on the board,
+/// milliseconds here because the estimator is native C++ rather than a
+/// Python stack).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace omniboost;
+
+namespace {
+
+bench::Context& ctx() {
+  static bench::Context c;
+  return c;
+}
+
+const workload::Workload& mix() {
+  static const workload::Workload w{
+      {models::ModelId::kVgg19, models::ModelId::kResNet50,
+       models::ModelId::kInceptionV3, models::ModelId::kMobileNet}};
+  return w;
+}
+
+void BM_BaselineDecision(benchmark::State& state) {
+  auto sched = sched::AllOnScheduler::gpu_baseline(ctx().zoo());
+  for (auto _ : state) benchmark::DoNotOptimize(sched.schedule(mix()));
+}
+BENCHMARK(BM_BaselineDecision);
+
+void BM_MosaicDecision(benchmark::State& state) {
+  static sched::MosaicScheduler sched(ctx().zoo(), ctx().device());
+  for (auto _ : state) benchmark::DoNotOptimize(sched.schedule(mix()));
+}
+BENCHMARK(BM_MosaicDecision)->Unit(benchmark::kMillisecond);
+
+void BM_GaDecision(benchmark::State& state) {
+  static sched::GaScheduler sched(ctx().zoo(), ctx().device());
+  for (auto _ : state) benchmark::DoNotOptimize(sched.schedule(mix()));
+}
+BENCHMARK(BM_GaDecision)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_OmniBoostDecision(benchmark::State& state) {
+  static core::OmniBoostScheduler sched(ctx().zoo(), ctx().embedding(),
+                                        ctx().estimator());
+  for (auto _ : state) benchmark::DoNotOptimize(sched.schedule(mix()));
+}
+BENCHMARK(BM_OmniBoostDecision)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_EstimatorQuery(benchmark::State& state) {
+  auto est = ctx().estimator();
+  const auto counts = mix().layer_counts(ctx().zoo());
+  const auto input = ctx().embedding().masked_input(
+      mix(), sim::Mapping::all_on(counts, device::ComponentId::kGpu));
+  for (auto _ : state) benchmark::DoNotOptimize(est->predict_reward(input));
+}
+BENCHMARK(BM_EstimatorQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_BoardMeasurement(benchmark::State& state) {
+  // One GA fitness evaluation = one steady-state board simulation.
+  const auto nets = mix().resolve(ctx().zoo());
+  const auto m = sim::Mapping::all_on(mix().layer_counts(ctx().zoo()),
+                                      device::ComponentId::kGpu);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ctx().board().simulate(nets, m));
+}
+BENCHMARK(BM_BoardMeasurement)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Run-time performance evaluation", "Section V-B", 7);
+
+  // One-off cost accounting (the part google-benchmark cannot show).
+  std::printf("training the throughput estimator (one-off, design time)...\n");
+  ctx().train_estimator();
+
+  sched::MosaicScheduler mosaic(ctx().zoo(), ctx().device());
+  sched::GaScheduler ga(ctx().zoo(), ctx().device());
+  core::OmniBoostScheduler omni(ctx().zoo(), ctx().embedding(),
+                                ctx().estimator());
+  const auto rg = ga.schedule(mix());
+  const auto ro = omni.schedule(mix());
+
+  util::Table t({"scheduler", "decision model", "one-off / per-mix cost",
+                 "evaluator queries"});
+  t.add_row({"Baseline", "none", "none", "0"});
+  t.add_row({"MOSAIC", "linear regression",
+             "offline collection: " +
+                 std::to_string(mosaic.training_samples()) + " samples, " +
+                 util::fmt(mosaic.training_board_seconds() / 60.0, 1) +
+                 " board-minutes",
+             "1 per DNN"});
+  t.add_row({"GA", "on-board measurements",
+             "per mix: " + util::fmt(rg.board_seconds / 60.0, 1) +
+                 " board-minutes (paper: ~5 min)",
+             std::to_string(rg.evaluations)});
+  t.add_row({"OmniBoost", "CNN estimator",
+             "500 estimator queries per mix (paper: ~30 s)",
+             std::to_string(ro.evaluations)});
+  t.print(std::cout);
+  std::printf("\nmicro-benchmarks (decision latency on this machine):\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

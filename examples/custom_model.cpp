@@ -1,0 +1,86 @@
+/// \file custom_model.cpp
+/// Extensibility walkthrough (the paper's "robust to new DNN models added on
+/// top of the existing dataset"): define a custom network with the
+/// NetBuilder DSL, profile it with the kernel-level cost model, and inspect
+/// how the board's components would run it — the exact data an extended
+/// embedding tensor column would hold.
+
+#include <cstdio>
+#include <iostream>
+
+#include "device/cost_model.hpp"
+#include "models/net_builder.hpp"
+#include "sim/des.hpp"
+#include "util/table.hpp"
+
+using namespace omniboost;
+
+namespace {
+
+/// A compact detector backbone an application team might deploy.
+models::NetworkDesc make_tinydet() {
+  models::NetBuilder b("TinyDet", {3, 224, 224});
+  b.conv(24, 3, 2, 1, "stem");          // 112x112
+  b.depthwise(1, "dw1").pointwise(48, "pw1");
+  b.maxpool(2, 2, 0, "pool1");          // 56x56
+  b.depthwise(1, "dw2").pointwise(96, "pw2");
+  b.maxpool(2, 2, 0, "pool2");          // 28x28
+  b.conv(128, 3, 1, 1, "conv3");
+  b.residual_basic(128, 1, "res3");
+  b.maxpool(2, 2, 0, "pool3");          // 14x14
+  b.conv(192, 3, 1, 1, "conv4");
+  b.residual_basic(192, 2, "res4");     // 7x7
+  b.global_avgpool("gap");
+  b.fc(80, true, "head");               // detector class head
+  return std::move(b).build();
+}
+
+}  // namespace
+
+int main() {
+  const models::NetworkDesc net = make_tinydet();
+  std::printf("custom network: %s — %zu schedulable layers, %.2f GFLOPs, "
+              "%.1f MB weights\n\n",
+              net.name.c_str(), net.num_layers(), net.total_flops() / 1e9,
+              net.total_weight_bytes() / 1e6);
+
+  const device::DeviceSpec spec = device::make_hikey970();
+  const device::CostModel cost(spec);
+
+  // Per-layer profile on every component: the new embedding column (Eq. 1).
+  util::Table t({"layer", "kind/kernels", "GPU (ms)", "big (ms)",
+                 "LITTLE (ms)"});
+  for (const models::LayerDesc& l : net.layers) {
+    t.add_row({l.name, std::to_string(l.kernels.size()) + " kernels",
+               util::fmt(1e3 * cost.layer_time(l, device::ComponentId::kGpu), 3),
+               util::fmt(1e3 * cost.layer_time(l, device::ComponentId::kBigCpu), 3),
+               util::fmt(1e3 * cost.layer_time(
+                                   l, device::ComponentId::kLittleCpu), 3)});
+  }
+  t.print(std::cout);
+
+  // Whole-network placements and one pipelined split, measured end to end.
+  const sim::DesSimulator board(spec);
+  const sim::NetworkList nets{&net};
+  std::printf("\nplacements (solo stream):\n");
+  for (device::ComponentId c : device::kAllComponents) {
+    const auto rep = board.simulate(
+        nets, sim::Mapping::all_on({net.num_layers()}, c));
+    std::printf("  all on %-6s : %.2f inf/s\n",
+                std::string(device::component_name(c)).c_str(),
+                rep.avg_throughput);
+  }
+  // Pipeline the tail onto the big CPU.
+  sim::Assignment split(net.num_layers(), device::ComponentId::kGpu);
+  for (std::size_t l = net.num_layers() / 2; l < net.num_layers(); ++l)
+    split[l] = device::ComponentId::kBigCpu;
+  const auto piped = board.simulate(nets, sim::Mapping({split}));
+  std::printf("  GPU+big split : %.2f inf/s (2-stage pipeline)\n",
+              piped.avg_throughput);
+
+  std::printf("\nto add %s to OmniBoost's dataset, append it to the zoo and "
+              "rebuild the embedding tensor — the kernel-granular profile "
+              "above is all the framework needs (paper §IV-A)\n",
+              net.name.c_str());
+  return 0;
+}

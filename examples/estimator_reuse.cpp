@@ -1,0 +1,69 @@
+/// \file estimator_reuse.cpp
+/// The design-time / run-time split in practice: train the throughput
+/// estimator once, persist it to disk, then bring up a fresh "deployment"
+/// process that loads the weights and schedules immediately — the workflow
+/// an embedded integrator would actually ship (no training dependency on
+/// the target).
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/dataset.hpp"
+#include "core/omniboost.hpp"
+#include "nn/loss.hpp"
+
+using namespace omniboost;
+
+int main() {
+  const std::string weights_path =
+      (std::filesystem::temp_directory_path() / "omniboost_estimator.bin")
+          .string();
+
+  models::ModelZoo zoo;
+  const device::DeviceSpec spec = device::make_hikey970();
+  const device::CostModel cost(spec);
+  const core::EmbeddingTensor embedding(zoo, cost);
+  const sim::DesSimulator board(spec);
+
+  // --- Design time (run on a workstation, once per board model).
+  {
+    std::printf("[design time] profiling + dataset + training...\n");
+    core::DatasetConfig dc;
+    dc.samples = 150;
+    const core::SampleSet data =
+        core::generate_dataset(zoo, embedding, board, dc);
+    core::ThroughputEstimator estimator(embedding.models_dim(),
+                                        embedding.layers_dim());
+    nn::L1Loss l1;
+    nn::TrainConfig tc;
+    tc.epochs = 40;
+    const auto hist = estimator.fit(data, 30, l1, tc);
+    estimator.save_file(weights_path);
+    std::printf("[design time] saved %zu-parameter estimator to %s "
+                "(val L1 %.4f)\n\n",
+                estimator.num_params(), weights_path.c_str(),
+                hist.val_loss.back());
+  }
+
+  // --- Run time (the deployment process: load, schedule, go).
+  {
+    std::printf("[run time] loading estimator and scheduling...\n");
+    auto estimator = std::make_shared<const core::ThroughputEstimator>(
+        core::ThroughputEstimator::load_file(weights_path));
+
+    const workload::Workload mix{{models::ModelId::kResNet34,
+                                  models::ModelId::kSqueezeNet,
+                                  models::ModelId::kAlexNet}};
+    core::OmniBoostScheduler scheduler(zoo, embedding, estimator);
+    const core::ScheduleResult plan = scheduler.schedule(mix);
+
+    const double t =
+        board.simulate(mix.resolve(zoo), plan.mapping).avg_throughput;
+    std::printf("[run time] %s -> T = %.2f inf/s (decision %.0f ms, no "
+                "training performed)\n",
+                mix.describe().c_str(), t, plan.decision_seconds * 1e3);
+  }
+
+  std::filesystem::remove(weights_path);
+  return 0;
+}

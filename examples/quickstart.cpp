@@ -1,0 +1,86 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end use of the OmniBoost public API:
+///   1. build the model zoo and the (simulated) HiKey970;
+///   2. profile the distributed-embeddings tensor;
+///   3. generate the design-time dataset and train the throughput estimator;
+///   4. schedule a multi-DNN workload with estimator-guided MCTS;
+///   5. execute the mapping on the board simulator and report throughput.
+///
+/// For speed this quickstart uses a reduced design-time campaign (150
+/// workloads, 40 epochs); the paper's full settings (500 / 100) live in
+/// bench/bench_fig4_estimator_training.cpp.
+
+#include <cstdio>
+
+#include "core/dataset.hpp"
+#include "core/omniboost.hpp"
+#include "nn/loss.hpp"
+#include "sched/baseline.hpp"
+
+using namespace omniboost;
+
+int main() {
+  // 1. The platform: 11 dataset DNNs and the heterogeneous board model.
+  models::ModelZoo zoo;
+  const device::DeviceSpec board_spec = device::make_hikey970();
+  const device::CostModel cost(board_spec);
+  std::printf("board: %s (%s | %s | %s)\n", board_spec.name.c_str(),
+              board_spec.components[0].name.c_str(),
+              board_spec.components[1].name.c_str(),
+              board_spec.components[2].name.c_str());
+
+  // 2. Kernel-level profiling -> distributed embeddings tensor (Eq. 1-3).
+  const core::EmbeddingTensor embedding(zoo, cost);
+  std::printf("embedding tensor: 3 x %zu x %zu\n", embedding.models_dim(),
+              embedding.layers_dim());
+
+  // 3. Design time: random workloads measured on the board train the CNN.
+  const sim::DesSimulator board(board_spec);
+  core::DatasetConfig dc;
+  dc.samples = 150;
+  const core::SampleSet data =
+      core::generate_dataset(zoo, embedding, board, dc);
+  auto estimator = std::make_shared<core::ThroughputEstimator>(
+      embedding.models_dim(), embedding.layers_dim());
+  std::printf("estimator: %zu trainable parameters; training...\n",
+              estimator->num_params());
+  nn::L1Loss l1;
+  nn::TrainConfig tc;
+  tc.epochs = 40;
+  const nn::TrainHistory hist = estimator->fit(data, 30, l1, tc);
+  std::printf("trained: final train L1 %.4f, validation L1 %.4f\n",
+              hist.train_loss.back(), hist.val_loss.back());
+
+  // 4. Run time: schedule a 4-DNN workload.
+  const workload::Workload mix{
+      {models::ModelId::kVgg19, models::ModelId::kResNet50,
+       models::ModelId::kInceptionV3, models::ModelId::kMobileNet}};
+  core::OmniBoostScheduler omniboost(zoo, embedding, estimator);
+  const core::ScheduleResult plan = omniboost.schedule(mix);
+  std::printf("\nworkload: %s\n", mix.describe().c_str());
+  std::printf("decision: %.0f ms, %zu estimator queries, max %zu pipeline "
+              "stages\n",
+              plan.decision_seconds * 1e3, plan.evaluations,
+              plan.mapping.max_stages());
+
+  // Show the chosen partitioning.
+  for (std::size_t d = 0; d < mix.size(); ++d) {
+    std::printf("  %-13s: ", std::string(models::model_name(mix.mix[d])).c_str());
+    for (const auto& seg : sim::extract_segments(plan.mapping.assignment(d)))
+      std::printf("[L%zu-L%zu -> %s] ", seg.first + 1, seg.last + 1,
+                  std::string(device::component_name(seg.comp)).c_str());
+    std::printf("\n");
+  }
+
+  // 5. Execute on the board simulator and compare with the GPU baseline.
+  auto baseline = sched::AllOnScheduler::gpu_baseline(zoo);
+  const auto nets = mix.resolve(zoo);
+  const double t_omni =
+      board.simulate(nets, plan.mapping).avg_throughput;
+  const double t_base =
+      board.simulate(nets, baseline.schedule(mix).mapping).avg_throughput;
+  std::printf("\nthroughput T: OmniBoost %.3f inf/s vs GPU-only %.3f inf/s "
+              "(x%.2f)\n",
+              t_omni, t_base, t_omni / t_base);
+  return 0;
+}

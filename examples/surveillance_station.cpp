@@ -1,0 +1,108 @@
+/// \file surveillance_station.cpp
+/// Domain scenario from the paper's introduction: an edge device running
+/// several vision DNNs concurrently (object detection backbone, person
+/// re-identification, scene classification, lightweight motion filter).
+/// The example compares all four schedulers on this fixed workload and shows
+/// what happens as cameras are added until the board runs out of memory —
+/// the paper's "unresponsive at 6 concurrent DNNs" observation.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/dataset.hpp"
+#include "core/omniboost.hpp"
+#include "nn/loss.hpp"
+#include "sched/baseline.hpp"
+#include "sched/ga.hpp"
+#include "sched/mosaic.hpp"
+#include "util/table.hpp"
+
+using namespace omniboost;
+
+namespace {
+
+std::shared_ptr<core::ThroughputEstimator> train_estimator(
+    const models::ModelZoo& zoo, const core::EmbeddingTensor& embedding,
+    const sim::DesSimulator& board) {
+  core::DatasetConfig dc;
+  dc.samples = 200;
+  const core::SampleSet data =
+      core::generate_dataset(zoo, embedding, board, dc);
+  auto est = std::make_shared<core::ThroughputEstimator>(
+      embedding.models_dim(), embedding.layers_dim());
+  nn::L1Loss l1;
+  nn::TrainConfig tc;
+  tc.epochs = 50;
+  est->fit(data, 40, l1, tc);
+  return est;
+}
+
+}  // namespace
+
+int main() {
+  models::ModelZoo zoo;
+  const device::DeviceSpec spec = device::make_hikey970();
+  const device::CostModel cost(spec);
+  const core::EmbeddingTensor embedding(zoo, cost);
+  const sim::DesSimulator board(spec);
+
+  std::printf("smart surveillance station on %s\n", spec.name.c_str());
+  std::printf("training the throughput estimator (reduced campaign)...\n\n");
+  auto estimator = train_estimator(zoo, embedding, board);
+
+  // The station's fixed analytics stack.
+  const workload::Workload station{
+      {models::ModelId::kResNet50,     // detection backbone
+       models::ModelId::kInceptionV3,  // person re-identification
+       models::ModelId::kVgg16,        // scene classifier
+       models::ModelId::kMobileNet}};  // motion filter
+  std::printf("analytics stack: %s\n\n", station.describe().c_str());
+
+  auto baseline = sched::AllOnScheduler::gpu_baseline(zoo);
+  sched::MosaicScheduler mosaic(zoo, spec);
+  sched::GaScheduler ga(zoo, spec);
+  core::OmniBoostScheduler omni(zoo, embedding, estimator);
+
+  const auto nets = station.resolve(zoo);
+  util::Table t({"scheduler", "T (inf/s)", "normalized", "decision cost"});
+  const double tb =
+      board.simulate(nets, baseline.schedule(station).mapping).avg_throughput;
+
+  core::IScheduler* all[] = {&baseline, &mosaic, &ga, &omni};
+  for (core::IScheduler* s : all) {
+    const core::ScheduleResult r = s->schedule(station);
+    const double tt = board.simulate(nets, r.mapping).avg_throughput;
+    std::string cost_note;
+    if (r.board_seconds > 0.0)
+      cost_note = util::fmt(r.board_seconds / 60.0, 1) + " board-min";
+    else
+      cost_note = util::fmt(r.decision_seconds * 1e3, 0) + " ms";
+    t.add_row({s->name(), util::fmt(tt, 3), util::fmt(tt / tb, 2), cost_note});
+  }
+  t.print(std::cout);
+
+  // Capacity planning: add analytics until the board gives out.
+  std::printf("\ncapacity: growing the stack one DNN at a time\n");
+  const models::ModelId extras[] = {
+      models::ModelId::kSqueezeNet, models::ModelId::kVgg19,
+      models::ModelId::kResNet101, models::ModelId::kInceptionV4};
+  workload::Workload grown = station;
+  for (models::ModelId extra : extras) {
+    grown.mix.push_back(extra);
+    const auto counts = grown.layer_counts(zoo);
+    const auto rep = board.simulate(
+        grown.resolve(zoo),
+        sim::Mapping::all_on(counts, device::ComponentId::kGpu));
+    if (!rep.feasible) {
+      std::printf("  %zu DNNs (%s): board out of memory — unresponsive, as "
+                  "the paper observed at 6 concurrent DNNs\n",
+                  grown.size(), grown.describe().c_str());
+      break;
+    }
+    const core::ScheduleResult r = omni.schedule(grown);
+    const auto omni_rep = board.simulate(grown.resolve(zoo), r.mapping);
+    std::printf("  %zu DNNs: GPU-only T=%.3f, OmniBoost T=%.3f inf/s\n",
+                grown.size(), rep.avg_throughput, omni_rep.avg_throughput);
+  }
+  return 0;
+}

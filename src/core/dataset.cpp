@@ -1,0 +1,110 @@
+#include "core/dataset.hpp"
+
+#include <numeric>
+
+#include "util/require.hpp"
+#include "workload/generator.hpp"
+
+namespace omniboost::core {
+
+SampleSet generate_dataset(const models::ModelZoo& zoo,
+                           const EmbeddingTensor& embedding,
+                           const sim::DesSimulator& board,
+                           const DatasetConfig& config) {
+  // Kept separate from the catalog variant below to preserve the exact RNG
+  // draw sequence of the original campaign: the trained estimator (and with
+  // it every figure) is reproducible from the seed across releases.
+  OB_REQUIRE(config.samples > 0, "generate_dataset: zero samples");
+  OB_REQUIRE(config.min_mix >= 1 && config.min_mix <= config.max_mix &&
+                 config.max_mix <= models::kNumModels,
+             "generate_dataset: bad mix-size range");
+
+  util::Rng rng(config.seed);
+  SampleSet set;
+  set.inputs.reserve(config.samples);
+  set.targets.reserve(config.samples);
+
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = config.samples * 20;
+  while (set.size() < config.samples) {
+    OB_ENSURE(++attempts <= max_attempts,
+              "generate_dataset: too many infeasible workloads");
+    const std::size_t n = static_cast<std::size_t>(
+        rng.range(static_cast<std::int64_t>(config.min_mix),
+                  static_cast<std::int64_t>(config.max_mix)));
+    const workload::Workload w = workload::random_mix(rng, n);
+    const sim::Mapping mapping =
+        workload::random_mapping(rng, zoo, w, config.stage_limit);
+
+    const sim::ThroughputReport report =
+        board.simulate(w.resolve(zoo), mapping);
+    if (!report.feasible) continue;  // unrunnable on the physical board
+
+    set.inputs.push_back(embedding.masked_input(w, mapping));
+    set.targets.push_back({report.per_component_rate[0],
+                           report.per_component_rate[1],
+                           report.per_component_rate[2]});
+  }
+  return set;
+}
+
+SampleSet generate_dataset(const sim::NetworkList& nets,
+                           const EmbeddingTensor& embedding,
+                           const sim::DesSimulator& board,
+                           const DatasetConfig& config) {
+  OB_REQUIRE(config.samples > 0, "generate_dataset: zero samples");
+  OB_REQUIRE(!nets.empty(), "generate_dataset: empty catalog");
+  const std::size_t max_mix = std::min(config.max_mix, nets.size());
+  OB_REQUIRE(config.min_mix >= 1 && config.min_mix <= max_mix,
+             "generate_dataset: bad mix-size range");
+  OB_REQUIRE(embedding.models_dim() == nets.size(),
+             "generate_dataset: embedding/catalog dimension mismatch");
+
+  util::Rng rng(config.seed);
+  SampleSet set;
+  set.inputs.reserve(config.samples);
+  set.targets.reserve(config.samples);
+
+  std::vector<std::size_t> all_indices(nets.size());
+  std::iota(all_indices.begin(), all_indices.end(), 0);
+
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = config.samples * 20;
+  while (set.size() < config.samples) {
+    OB_ENSURE(++attempts <= max_attempts,
+              "generate_dataset: too many infeasible workloads");
+    const std::size_t n = static_cast<std::size_t>(
+        rng.range(static_cast<std::int64_t>(config.min_mix),
+                  static_cast<std::int64_t>(max_mix)));
+
+    // Distinct random catalog indices (partial Fisher-Yates).
+    std::vector<std::size_t> indices = all_indices;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = i + rng.below(indices.size() - i);
+      std::swap(indices[i], indices[j]);
+    }
+    indices.resize(n);
+
+    sim::NetworkList mix_nets;
+    std::vector<sim::Assignment> per_dnn;
+    mix_nets.reserve(n);
+    per_dnn.reserve(n);
+    for (const std::size_t idx : indices) {
+      mix_nets.push_back(nets[idx]);
+      per_dnn.push_back(workload::random_assignment(
+          rng, nets[idx]->num_layers(), config.stage_limit));
+    }
+    const sim::Mapping mapping(std::move(per_dnn));
+
+    const sim::ThroughputReport report = board.simulate(mix_nets, mapping);
+    if (!report.feasible) continue;  // unrunnable on the physical board
+
+    set.inputs.push_back(embedding.masked_input(indices, mapping));
+    set.targets.push_back({report.per_component_rate[0],
+                           report.per_component_rate[1],
+                           report.per_component_rate[2]});
+  }
+  return set;
+}
+
+}  // namespace omniboost::core

@@ -1,0 +1,42 @@
+#pragma once
+/// \file dataset.hpp
+/// Design-time dataset generation (paper §V): random mixes of 1-5 DNNs with
+/// random stage-limited mappings are executed on the (simulated) board, and
+/// each (masked embedding tensor, measured per-component throughput) pair
+/// becomes one estimator training sample.
+
+#include <cstdint>
+
+#include "core/embedding.hpp"
+#include "core/estimator.hpp"
+#include "sim/des.hpp"
+
+namespace omniboost::core {
+
+/// Dataset generation controls (paper defaults).
+struct DatasetConfig {
+  std::size_t samples = 500;
+  std::size_t min_mix = 1;
+  std::size_t max_mix = 5;
+  std::size_t stage_limit = 3;
+  std::uint64_t seed = 42;
+};
+
+/// Generates the estimator's training set by "running" random workloads on
+/// the board simulator. Workloads that exceed board memory are redrawn (the
+/// physical data-collection campaign can only record runnable mixes).
+SampleSet generate_dataset(const models::ModelZoo& zoo,
+                           const EmbeddingTensor& embedding,
+                           const sim::DesSimulator& board,
+                           const DatasetConfig& config);
+
+/// Catalog variant for extended datasets (paper claim (iii)): mixes are
+/// drawn as distinct indices into \p nets, which must be the list the
+/// embedding tensor was built from. config.max_mix is clamped to
+/// nets.size().
+SampleSet generate_dataset(const sim::NetworkList& nets,
+                           const EmbeddingTensor& embedding,
+                           const sim::DesSimulator& board,
+                           const DatasetConfig& config);
+
+}  // namespace omniboost::core

@@ -1,0 +1,92 @@
+#include "core/embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace omniboost::core {
+
+namespace {
+
+sim::NetworkList zoo_as_list(const models::ModelZoo& zoo) {
+  sim::NetworkList nets;
+  nets.reserve(zoo.num_models());
+  for (const models::NetworkDesc& net : zoo.networks()) nets.push_back(&net);
+  return nets;
+}
+
+}  // namespace
+
+EmbeddingTensor::EmbeddingTensor(const models::ModelZoo& zoo,
+                                 const device::CostModel& cost,
+                                 double log_scale_s)
+    : EmbeddingTensor(zoo_as_list(zoo), cost, log_scale_s) {}
+
+EmbeddingTensor::EmbeddingTensor(const sim::NetworkList& nets,
+                                 const device::CostModel& cost,
+                                 double log_scale_s)
+    : models_dim_(nets.size()) {
+  OB_REQUIRE(!nets.empty(), "EmbeddingTensor: empty catalog");
+  OB_REQUIRE(log_scale_s > 0.0, "EmbeddingTensor: bad log scale");
+  for (const auto* net : nets) {
+    OB_REQUIRE(net != nullptr, "EmbeddingTensor: null network");
+    OB_REQUIRE(net->num_layers() > 0, "EmbeddingTensor: network with no layers");
+    layers_dim_ = std::max(layers_dim_, net->num_layers());
+  }
+
+  // Raw kernel-based profile (Eq. 1-3), zero-padded over the layer axis.
+  u_ = tensor::Tensor({device::kNumComponents, models_dim_, layers_dim_});
+  double max_cell = 0.0;
+  for (std::size_t c = 0; c < device::kNumComponents; ++c) {
+    const auto comp = static_cast<device::ComponentId>(c);
+    for (std::size_t m = 0; m < models_dim_; ++m) {
+      const models::NetworkDesc& net = *nets[m];
+      for (std::size_t l = 0; l < net.num_layers(); ++l) {
+        const double t = cost.layer_time(net.layers[l], comp);
+        max_time_s_ = std::max(max_time_s_, t);
+        const double cell = std::log1p(t / log_scale_s);
+        max_cell = std::max(max_cell, cell);
+        u_.at({c, m, l}) = static_cast<float>(cell);
+      }
+    }
+  }
+  OB_ENSURE(max_cell > 0.0, "EmbeddingTensor: degenerate profile");
+  u_ *= static_cast<float>(1.0 / max_cell);
+}
+
+tensor::Tensor EmbeddingTensor::masked_input(
+    const workload::Workload& w, const sim::Mapping& mapping) const {
+  std::vector<std::size_t> indices;
+  indices.reserve(w.size());
+  for (const models::ModelId id : w.mix)
+    indices.push_back(models::model_index(id));
+  return masked_input(indices, mapping);
+}
+
+tensor::Tensor EmbeddingTensor::masked_input(
+    const std::vector<std::size_t>& model_indices,
+    const sim::Mapping& mapping) const {
+  OB_REQUIRE(model_indices.size() == mapping.num_dnns(),
+             "masked_input: workload/mapping arity mismatch");
+  tensor::Tensor input({device::kNumComponents, models_dim_, layers_dim_});
+  std::vector<bool> seen(models_dim_, false);
+  for (std::size_t i = 0; i < model_indices.size(); ++i) {
+    const std::size_t m = model_indices[i];
+    OB_REQUIRE(m < models_dim_, "masked_input: model outside the dataset");
+    OB_REQUIRE(!seen[m],
+               "masked_input: duplicate model in mix — the distributed "
+               "embedding reserves one column per dataset model");
+    seen[m] = true;
+    const sim::Assignment& a = mapping.assignment(i);
+    OB_REQUIRE(a.size() <= layers_dim_,
+               "masked_input: assignment exceeds layer capacity");
+    for (std::size_t l = 0; l < a.size(); ++l) {
+      const std::size_t c = device::component_index(a[l]);
+      input.at({c, m, l}) = u_.at({c, m, l});
+    }
+  }
+  return input;
+}
+
+}  // namespace omniboost::core

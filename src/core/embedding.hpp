@@ -1,0 +1,72 @@
+#pragma once
+/// \file embedding.hpp
+/// The distributed embeddings tensor (paper §IV-A): a (components x models x
+/// layers) tensor U holding the normalized execution time B_l_alpha of every
+/// dataset-DNN layer on every computing component, plus the mask rendering
+/// that turns a (workload, mapping) query into the estimator's input.
+///
+/// Two construction paths: from the fixed 11-model ModelZoo (the paper's
+/// dataset), or from an arbitrary NetworkList — the latter is the paper's
+/// extensibility claim ((iii), "robust to new DNN models added on top of the
+/// existing dataset") made concrete: append a custom network, rebuild the
+/// tensor, retrain, schedule. See examples/zoo_extension.cpp.
+
+#include "device/cost_model.hpp"
+#include "models/zoo.hpp"
+#include "sim/mapping.hpp"
+#include "sim/segments.hpp"
+#include "tensor/tensor.hpp"
+#include "workload/workload.hpp"
+
+namespace omniboost::core {
+
+/// Immutable benchmark tensor built once from kernel-level profiling
+/// (here: the cost model standing in for on-board kernel timing).
+class EmbeddingTensor {
+ public:
+  /// Profiles every layer of every zoo model on every component.
+  ///
+  /// Layer times span four orders of magnitude (a pool kernel on the GPU vs
+  /// VGG's fc6 on the LITTLE cluster), so cells store
+  /// log1p(t / log_scale_s), max-normalized to [0, 1] — a plain max
+  /// normalization would flush most of the tensor to ~0 and starve the CNN
+  /// of signal.
+  EmbeddingTensor(const models::ModelZoo& zoo, const device::CostModel& cost,
+                  double log_scale_s = 1e-4);
+
+  /// Profiles an arbitrary catalog of networks (dataset extension). Column
+  /// m of the tensor corresponds to nets[m]; layer capacity is the longest
+  /// network in the list.
+  EmbeddingTensor(const sim::NetworkList& nets, const device::CostModel& cost,
+                  double log_scale_s = 1e-4);
+
+  /// The full tensor U with shape (kNumComponents, M, L), values in [0, 1].
+  const tensor::Tensor& tensor() const { return u_; }
+
+  std::size_t models_dim() const { return models_dim_; }
+  std::size_t layers_dim() const { return layers_dim_; }
+
+  /// Normalization constant: the largest raw layer time (seconds).
+  double max_layer_time_s() const { return max_time_s_; }
+
+  /// Element-wise product of U with the mapping's boolean mask tensors
+  /// (paper Fig. 3 steps 1-2): slice alpha keeps exactly the cells of layers
+  /// assigned to component alpha. Models absent from the mix stay zero.
+  tensor::Tensor masked_input(const workload::Workload& w,
+                              const sim::Mapping& mapping) const;
+
+  /// Catalog-index variant: model_indices[i] is the tensor column of the
+  /// workload's i-th stream (positions in the NetworkList the tensor was
+  /// built from). Indices must be distinct — the distributed embedding
+  /// reserves one column per dataset model.
+  tensor::Tensor masked_input(const std::vector<std::size_t>& model_indices,
+                              const sim::Mapping& mapping) const;
+
+ private:
+  tensor::Tensor u_;
+  std::size_t models_dim_ = 0;
+  std::size_t layers_dim_ = 0;
+  double max_time_s_ = 0.0;
+};
+
+}  // namespace omniboost::core

@@ -1,0 +1,271 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "device/device.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+#include "util/require.hpp"
+
+namespace omniboost::core {
+
+namespace {
+
+/// Adds the activation chosen by the configuration.
+void add_activation(nn::Sequential& seq, bool use_gelu) {
+  if (use_gelu) {
+    seq.emplace<nn::GELU>();
+  } else {
+    seq.emplace<nn::ReLU>();
+  }
+}
+
+/// conv3x3 -> BN -> activation.
+void add_conv_block(nn::Sequential& seq, std::size_t in_ch, std::size_t out_ch,
+                    bool use_gelu) {
+  seq.emplace<nn::Conv2d>(in_ch, out_ch, 3, 1, 1);
+  seq.emplace<nn::BatchNorm2d>(out_ch);
+  add_activation(seq, use_gelu);
+}
+
+/// Residual stage: two conv blocks wrapped in an identity skip.
+std::unique_ptr<nn::Module> make_residual(std::size_t ch, bool use_gelu) {
+  auto body = std::make_unique<nn::Sequential>();
+  add_conv_block(*body, ch, ch, use_gelu);
+  add_conv_block(*body, ch, ch, use_gelu);
+  return std::make_unique<nn::Residual>(std::move(body));
+}
+
+}  // namespace
+
+ThroughputEstimator::ThroughputEstimator(std::size_t models_dim,
+                                         std::size_t layers_dim,
+                                         EstimatorConfig config)
+    : models_dim_(models_dim), layers_dim_(layers_dim), config_(config) {
+  OB_REQUIRE(models_dim >= 2 && layers_dim >= 8,
+             "ThroughputEstimator: embedding too small for the CNN");
+  for (auto& t : target_transform_) t = util::Affine1D{};
+
+  // ResNet9-style body (paper §IV-B): pooled stem, two residual stages,
+  // global pooling and a 3-unit linear regression head (no output
+  // activation). Early pooling keeps the forward/backward pass cheap enough
+  // to train in well under a minute on a CPU, as the paper reports for its
+  // GPU setup.
+  net_ = std::make_unique<nn::Sequential>();
+  add_conv_block(*net_, device::kNumComponents, config.c1, config.use_gelu);
+  net_->emplace<nn::MaxPool2d>(2);
+  add_conv_block(*net_, config.c1, config.c2, config.use_gelu);
+  net_->emplace<nn::MaxPool2d>(2);
+  net_->add(make_residual(config.c2, config.use_gelu));
+  add_conv_block(*net_, config.c2, config.c3, config.use_gelu);
+  net_->add(make_residual(config.c3, config.use_gelu));
+  net_->emplace<nn::GlobalAvgPool>();
+  net_->emplace<nn::Linear>(config.c3, 3);
+
+  util::Rng rng(config.init_seed);
+  net_->init(rng);
+  net_->set_training(false);
+}
+
+std::size_t ThroughputEstimator::num_params() const {
+  return net_->num_params();
+}
+
+nn::TrainHistory ThroughputEstimator::fit(const SampleSet& data,
+                                          std::size_t val_count,
+                                          const nn::Loss& loss,
+                                          const nn::TrainConfig& train) {
+  OB_REQUIRE(data.inputs.size() == data.targets.size(),
+             "ThroughputEstimator::fit: ragged sample set");
+  OB_REQUIRE(val_count < data.size(),
+             "ThroughputEstimator::fit: validation set leaves no train data");
+
+  const std::size_t train_count = data.size() - val_count;
+
+  // Fit the two-stage preprocessing (standardize then min-max, §V) per
+  // output on the *training* split only, composed into one affine map. The
+  // optional log compression runs first to tame the rates' dynamic range.
+  for (std::size_t d = 0; d < 3; ++d) {
+    std::vector<double> raw;
+    raw.reserve(train_count);
+    for (std::size_t i = 0; i < train_count; ++i)
+      raw.push_back(compress(data.targets[i][d]));
+    const util::Affine1D standardize = util::fit_standardizer(raw);
+    std::vector<double> standardized;
+    standardized.reserve(raw.size());
+    for (double y : raw) standardized.push_back(standardize.apply(y));
+    target_transform_[d] = standardize.then(util::fit_minmax(standardized));
+  }
+
+  nn::Dataset all;
+  all.inputs = data.inputs;
+  all.targets.reserve(data.size());
+  for (const auto& t : data.targets) {
+    tensor::Tensor y({3});
+    for (std::size_t d = 0; d < 3; ++d)
+      y[d] = static_cast<float>(target_transform_[d].apply(compress(t[d])));
+    all.targets.push_back(std::move(y));
+  }
+  auto [train_set, val_set] = all.split_tail(val_count);
+
+  net_->set_training(true);
+  nn::TrainHistory history =
+      nn::train_regression(*net_, loss, train_set, val_set, train);
+  net_->set_training(false);
+  trained_ = true;
+  return history;
+}
+
+std::array<double, 3> ThroughputEstimator::predict_normalized(
+    const tensor::Tensor& input) const {
+  OB_REQUIRE(input.rank() == 3 && input.extent(0) == device::kNumComponents &&
+                 input.extent(1) == models_dim_ &&
+                 input.extent(2) == layers_dim_,
+             "ThroughputEstimator::predict: unexpected input shape");
+  tensor::Tensor batched = input.reshaped(
+      {1, device::kNumComponents, models_dim_, layers_dim_});
+  const tensor::Tensor out = net_->forward(batched);
+  OB_ENSURE(out.size() == 3, "estimator head must emit 3 outputs");
+  return {static_cast<double>(out[0]), static_cast<double>(out[1]),
+          static_cast<double>(out[2])};
+}
+
+std::array<double, 3> ThroughputEstimator::predict(
+    const tensor::Tensor& input) const {
+  const std::array<double, 3> norm = predict_normalized(input);
+  std::array<double, 3> rates{};
+  for (std::size_t d = 0; d < 3; ++d)
+    rates[d] = expand(target_transform_[d].invert(norm[d]));
+  return rates;
+}
+
+double ThroughputEstimator::predict_reward(const tensor::Tensor& input) const {
+  const std::array<double, 3> rates = predict(input);
+  return (rates[0] + rates[1] + rates[2]) / 3.0;
+}
+
+namespace {
+
+constexpr char kEstimatorMagic[4] = {'O', 'B', 'T', 'E'};
+constexpr std::uint32_t kEstimatorVersion = 1;
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  os.write(reinterpret_cast<const char*>(b), 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  unsigned char b[8];
+  is.read(reinterpret_cast<char*>(b), 8);
+  if (!is) throw std::runtime_error("ThroughputEstimator::load: truncated");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+void write_f64(std::ostream& os, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  write_u64(os, bits);
+}
+
+double read_f64(std::istream& is) {
+  const std::uint64_t bits = read_u64(is);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+}  // namespace
+
+void ThroughputEstimator::save(std::ostream& os) const {
+  OB_REQUIRE(trained_, "ThroughputEstimator::save: estimator not trained");
+  os.write(kEstimatorMagic, 4);
+  write_u64(os, kEstimatorVersion);
+  write_u64(os, models_dim_);
+  write_u64(os, layers_dim_);
+  write_u64(os, config_.c1);
+  write_u64(os, config_.c2);
+  write_u64(os, config_.c3);
+  write_u64(os, (config_.use_gelu ? 1u : 0u) | (config_.log_targets ? 2u : 0u));
+  write_f64(os, config_.log_scale);
+  write_u64(os, config_.init_seed);
+  for (const util::Affine1D& t : target_transform_) {
+    write_f64(os, t.shift);
+    write_f64(os, t.scale);
+  }
+  // params() is logically read-only here; the Module interface exposes it
+  // non-const because optimizers mutate through it.
+  nn::save_params(const_cast<nn::Sequential&>(*net_), os);
+  if (!os) throw std::runtime_error("ThroughputEstimator::save: write failed");
+}
+
+void ThroughputEstimator::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("ThroughputEstimator::save_file: cannot open " +
+                             path);
+  }
+  save(os);
+}
+
+ThroughputEstimator ThroughputEstimator::load(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || magic[0] != 'O' || magic[1] != 'B' || magic[2] != 'T' ||
+      magic[3] != 'E') {
+    throw std::runtime_error(
+        "ThroughputEstimator::load: bad magic (not an OBTE file)");
+  }
+  const std::uint64_t version = read_u64(is);
+  if (version != kEstimatorVersion) {
+    throw std::runtime_error("ThroughputEstimator::load: unsupported version");
+  }
+  const std::uint64_t models_dim = read_u64(is);
+  const std::uint64_t layers_dim = read_u64(is);
+  EstimatorConfig config;
+  config.c1 = read_u64(is);
+  config.c2 = read_u64(is);
+  config.c3 = read_u64(is);
+  const std::uint64_t flags = read_u64(is);
+  config.use_gelu = (flags & 1u) != 0;
+  config.log_targets = (flags & 2u) != 0;
+  config.log_scale = read_f64(is);
+  config.init_seed = read_u64(is);
+
+  ThroughputEstimator est(models_dim, layers_dim, config);
+  for (util::Affine1D& t : est.target_transform_) {
+    t.shift = read_f64(is);
+    t.scale = read_f64(is);
+  }
+  nn::load_params(*est.net_, is);
+  est.trained_ = true;
+  return est;
+}
+
+ThroughputEstimator ThroughputEstimator::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("ThroughputEstimator::load_file: cannot open " +
+                             path);
+  }
+  return load(is);
+}
+
+double ThroughputEstimator::compress(double rate) const {
+  if (!config_.log_targets) return rate;
+  return std::log1p(std::max(rate, 0.0) / config_.log_scale);
+}
+
+double ThroughputEstimator::expand(double value) const {
+  if (!config_.log_targets) return value;
+  return std::expm1(std::max(value, 0.0)) * config_.log_scale;
+}
+
+}  // namespace omniboost::core

@@ -1,0 +1,105 @@
+#pragma once
+/// \file mcts.hpp
+/// Monte Carlo Tree Search over layer-to-component assignments (paper
+/// §IV-C). States are partial mappings laid out layer-after-layer,
+/// DNN-after-DNN; the three actions pick the computing component of the next
+/// layer. Assignments that would exceed the pipeline-stage limit are losing
+/// states and are never expanded; complete mappings are winning states scored
+/// by an external evaluator (the throughput estimator in production, or an
+/// oracle/linear probe in the ablations).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/mapping.hpp"
+
+namespace omniboost::core {
+
+/// Scores a complete mapping; higher is better.
+using MappingEvaluator = std::function<double(const sim::Mapping&)>;
+
+/// How the final decision is read out of the search tree.
+enum class MctsExtraction {
+  /// The single rollout with the highest evaluator reward. Fast but exposed
+  /// to the evaluator's winner's curse.
+  kGlobalArgmax,
+  /// Descend from the root by highest child average (expected reward), then
+  /// take the best rollout through the reached state.
+  kEliteDescent,
+  /// The paper's "candidate state with the highest expected reward": the
+  /// best-average node among sufficiently-visited nodes; decision = best
+  /// rollout through it.
+  kEliteNode,
+};
+
+/// Search controls (paper defaults: budget 500, depth 100).
+struct MctsConfig {
+  std::size_t budget = 500;      ///< number of simulations (rollouts)
+  std::size_t max_depth = 100;   ///< tree-expansion depth limit
+  /// UCT constant over in-search min-max-normalized rewards. 1/sqrt(2) is
+  /// calibrated on validation mixes (ablation A6 sweeps the sensitivity;
+  /// quality is flat within roughly a 4x band around this value).
+  double exploration = 0.7071067811865476;
+  std::size_t stage_limit = 3;   ///< x = number of computing components
+  MctsExtraction extraction = MctsExtraction::kGlobalArgmax;
+  std::uint64_t seed = 1;
+};
+
+/// Search outcome.
+struct MctsResult {
+  sim::Mapping best_mapping;
+  double best_reward = 0.0;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;   ///< evaluator queries issued
+  std::size_t tree_nodes = 0;
+};
+
+/// Builds an independent evaluator instance for one search worker.
+/// Root-parallel search cannot share one evaluator across threads: the CNN
+/// estimator's forward pass mutates per-layer activation caches. Each call
+/// must return an evaluator whose mutable state is private (e.g. a cloned
+/// estimator; see OmniBoostConfig::workers).
+using EvaluatorFactory = std::function<MappingEvaluator()>;
+
+/// Root-parallelized UCT: \p workers independent trees with forked seeds and
+/// the budget split between them, merged by best reward. With workers == 1
+/// this is exactly Mcts::search() (same seed, same result). Decision quality
+/// is comparable at equal total budget; wall-clock drops by ~the worker
+/// count — the knob for shrinking the paper's ~30 s decision latency.
+MctsResult parallel_mcts_search(const std::vector<std::size_t>& layer_counts,
+                                const EvaluatorFactory& make_evaluator,
+                                MctsConfig config, std::size_t workers);
+
+/// The scheduling environment + UCT search.
+class Mcts {
+ public:
+  /// \param layer_counts  layers per DNN of the workload
+  /// \param evaluate      reward for complete mappings
+  Mcts(std::vector<std::size_t> layer_counts, MappingEvaluator evaluate,
+       MctsConfig config = {});
+
+  /// Runs the search to the configured budget.
+  MctsResult search();
+
+ private:
+  struct Node;
+
+  /// Decision -> (dnn, layer) coordinates.
+  struct Coord {
+    std::size_t dnn, layer;
+  };
+
+  /// Components allowed for decision \p depth given the path so far.
+  void valid_actions(const std::vector<device::ComponentId>& path,
+                     std::size_t depth, bool (&out)[device::kNumComponents]) const;
+
+  sim::Mapping to_mapping(const std::vector<device::ComponentId>& path) const;
+
+  std::vector<std::size_t> layer_counts_;
+  std::vector<Coord> coords_;
+  MappingEvaluator evaluate_;
+  MctsConfig config_;
+};
+
+}  // namespace omniboost::core

@@ -1,0 +1,103 @@
+#include "core/omniboost.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace omniboost::core {
+
+namespace {
+
+/// Wall-clock helper.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+OmniBoostScheduler::OmniBoostScheduler(
+    const models::ModelZoo& zoo, const EmbeddingTensor& embedding,
+    std::shared_ptr<const ThroughputEstimator> estimator,
+    OmniBoostConfig config)
+    : zoo_(&zoo),
+      embedding_(&embedding),
+      estimator_(std::move(estimator)),
+      config_(config) {
+  OB_REQUIRE(estimator_ != nullptr, "OmniBoostScheduler: null estimator");
+  OB_REQUIRE(estimator_->trained(),
+             "OmniBoostScheduler: estimator must be trained first");
+}
+
+ScheduleResult OmniBoostScheduler::schedule(const workload::Workload& w) {
+  OB_REQUIRE(w.size() > 0, "OmniBoostScheduler::schedule: empty workload");
+  const StopWatch timer;
+
+  MctsResult r;
+  if (config_.workers <= 1) {
+    const MappingEvaluator evaluate = [this, &w](const sim::Mapping& m) {
+      return estimator_->predict_reward(embedding_->masked_input(w, m));
+    };
+    Mcts search(w.layer_counts(*zoo_), evaluate, config_.mcts);
+    r = search.search();
+  } else {
+    // Root-parallel: the CNN forward pass mutates activation caches, so each
+    // worker needs a private estimator. Clone through the serialization path
+    // (bit-exact weights and preprocessing; ~20k parameters, microseconds).
+    std::stringstream weights;
+    estimator_->save(weights);
+    const std::string blob = weights.str();
+    const EvaluatorFactory factory = [this, &w, blob]() -> MappingEvaluator {
+      std::istringstream is(blob);
+      auto clone =
+          std::make_shared<ThroughputEstimator>(ThroughputEstimator::load(is));
+      return [this, &w, clone](const sim::Mapping& m) {
+        return clone->predict_reward(embedding_->masked_input(w, m));
+      };
+    };
+    r = parallel_mcts_search(w.layer_counts(*zoo_), factory, config_.mcts,
+                             config_.workers);
+  }
+
+  ScheduleResult out;
+  out.mapping = r.best_mapping;
+  out.expected_reward = r.best_reward;
+  out.evaluations = r.evaluations;
+  out.decision_seconds = timer.seconds();
+  return out;
+}
+
+MctsScheduler::MctsScheduler(std::string name, const models::ModelZoo& zoo,
+                             MappingEvaluator evaluator, MctsConfig config)
+    : name_(std::move(name)),
+      zoo_(&zoo),
+      evaluator_(std::move(evaluator)),
+      config_(config) {
+  OB_REQUIRE(evaluator_ != nullptr, "MctsScheduler: null evaluator");
+}
+
+ScheduleResult MctsScheduler::schedule(const workload::Workload& w) {
+  OB_REQUIRE(w.size() > 0, "MctsScheduler::schedule: empty workload");
+  const StopWatch timer;
+  Mcts search(w.layer_counts(*zoo_), evaluator_, config_);
+  const MctsResult r = search.search();
+
+  ScheduleResult out;
+  out.mapping = r.best_mapping;
+  out.expected_reward = r.best_reward;
+  out.evaluations = r.evaluations;
+  out.decision_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace omniboost::core

@@ -1,0 +1,69 @@
+#pragma once
+/// \file omniboost.hpp
+/// The OmniBoost scheduler: MCTS exploration guided by the trained
+/// throughput estimator (paper Fig. 2, steps 4-8). This is the framework's
+/// primary public entry point; see examples/quickstart.cpp.
+
+#include <memory>
+
+#include "core/embedding.hpp"
+#include "core/estimator.hpp"
+#include "core/mcts.hpp"
+#include "core/scheduler.hpp"
+
+namespace omniboost::core {
+
+/// OmniBoost run-time controls.
+struct OmniBoostConfig {
+  MctsConfig mcts;  ///< paper defaults: budget 500, depth 100, limit 3
+  /// Root-parallel search workers. 1 reproduces the paper's sequential
+  /// search; N > 1 splits the budget over N independent trees, each with a
+  /// private clone of the estimator (the CNN forward pass is stateful), and
+  /// cuts the decision latency by ~N at comparable quality.
+  std::size_t workers = 1;
+};
+
+/// Production scheduler: estimator-guided Monte Carlo Tree Search.
+class OmniBoostScheduler final : public IScheduler {
+ public:
+  /// \param zoo        dataset networks (layer counts, embedding columns)
+  /// \param embedding  profiled distributed-embeddings tensor
+  /// \param estimator  trained throughput estimator (shared, not owned
+  ///                   exclusively — several schedulers may reuse it)
+  OmniBoostScheduler(const models::ModelZoo& zoo,
+                     const EmbeddingTensor& embedding,
+                     std::shared_ptr<const ThroughputEstimator> estimator,
+                     OmniBoostConfig config = {});
+
+  std::string name() const override { return "OmniBoost"; }
+  ScheduleResult schedule(const workload::Workload& w) override;
+
+  /// Replaces the search configuration (budget sweeps in the ablations).
+  void set_config(const OmniBoostConfig& config) { config_ = config; }
+
+ private:
+  const models::ModelZoo* zoo_;
+  const EmbeddingTensor* embedding_;
+  std::shared_ptr<const ThroughputEstimator> estimator_;
+  OmniBoostConfig config_;
+};
+
+/// Generic search-based scheduler around an arbitrary mapping evaluator —
+/// the ablation harness uses it to swap the estimator for a DES oracle or a
+/// linear probe while keeping the identical MCTS.
+class MctsScheduler final : public IScheduler {
+ public:
+  MctsScheduler(std::string name, const models::ModelZoo& zoo,
+                MappingEvaluator evaluator, MctsConfig config);
+
+  std::string name() const override { return name_; }
+  ScheduleResult schedule(const workload::Workload& w) override;
+
+ private:
+  std::string name_;
+  const models::ModelZoo* zoo_;
+  MappingEvaluator evaluator_;
+  MctsConfig config_;
+};
+
+}  // namespace omniboost::core

@@ -1,0 +1,37 @@
+#pragma once
+/// \file scheduler.hpp
+/// The common interface every multi-DNN scheduler implements: OmniBoost,
+/// the GPU-only baseline, MOSAIC and the GA. Benches compare them through
+/// this interface and time their decisions.
+
+#include <string>
+
+#include "sim/mapping.hpp"
+#include "workload/workload.hpp"
+
+namespace omniboost::core {
+
+/// Outcome of one scheduling decision.
+struct ScheduleResult {
+  sim::Mapping mapping;
+  double expected_reward = 0.0;   ///< scheduler-internal score (0 if none)
+  double decision_seconds = 0.0;  ///< wall-clock decision latency
+  std::size_t evaluations = 0;    ///< performance-model / simulator queries
+  /// Board time a measurement-driven scheduler would burn on the device for
+  /// this decision (GA fitness runs). Zero for model-driven schedulers.
+  double board_seconds = 0.0;
+};
+
+/// A run-time multi-DNN workload manager.
+class IScheduler {
+ public:
+  virtual ~IScheduler() = default;
+
+  /// Display name used in bench tables.
+  virtual std::string name() const = 0;
+
+  /// Produces a layer-to-component mapping for the workload.
+  virtual ScheduleResult schedule(const workload::Workload& w) = 0;
+};
+
+}  // namespace omniboost::core

@@ -1,0 +1,69 @@
+#include "device/cost_model.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace omniboost::device {
+
+double CostModel::kernel_time(const models::KernelDesc& kernel,
+                              ComponentId comp) const {
+  const ComponentSpec& c = device_->component(comp);
+  const double eff = c.kind_efficiency(kernel.kind);
+  const double t_compute =
+      kernel.flops > 0.0 ? kernel.flops / (c.peak_gflops * 1e9 * eff) : 0.0;
+  const double t_memory = kernel.bytes / (c.mem_bw_gbps * 1e9);
+  return std::max(t_compute, t_memory) + c.kernel_overhead_s;
+}
+
+double CostModel::layer_time(const models::LayerDesc& layer,
+                             ComponentId comp) const {
+  double t = 0.0;
+  for (const auto& k : layer.kernels) t += kernel_time(k, comp);
+  return t;
+}
+
+double CostModel::segment_time(const models::NetworkDesc& net,
+                               std::size_t first, std::size_t last,
+                               ComponentId comp) const {
+  OB_REQUIRE(first <= last && last < net.layers.size(),
+             "segment_time: bad layer range");
+  double t = 0.0;
+  for (std::size_t l = first; l <= last; ++l)
+    t += layer_time(net.layers[l], comp);
+  return t;
+}
+
+double CostModel::segment_working_set_bytes(const models::NetworkDesc& net,
+                                            std::size_t first,
+                                            std::size_t last) const {
+  OB_REQUIRE(first <= last && last < net.layers.size(),
+             "segment_working_set_bytes: bad layer range");
+  double weights = 0.0;
+  double peak_act = net.layers[first].input.bytes();
+  for (std::size_t l = first; l <= last; ++l) {
+    weights += net.layers[l].weight_bytes;
+    peak_act = std::max(peak_act, net.layers[l].output_bytes());
+  }
+  // Double-buffered activations (input + output of the running layer).
+  return weights + 2.0 * peak_act;
+}
+
+double CostModel::segment_traffic_bytes(const models::NetworkDesc& net,
+                                        std::size_t first,
+                                        std::size_t last) const {
+  OB_REQUIRE(first <= last && last < net.layers.size(),
+             "segment_traffic_bytes: bad layer range");
+  double b = 0.0;
+  for (std::size_t l = first; l <= last; ++l)
+    b += net.layers[l].traffic_bytes();
+  return b;
+}
+
+double CostModel::transfer_time(double bytes, ComponentId from,
+                                ComponentId to) const {
+  if (from == to) return 0.0;
+  return device_->link.latency_s + bytes / (device_->link.bandwidth_gbps * 1e9);
+}
+
+}  // namespace omniboost::device

@@ -1,0 +1,50 @@
+#pragma once
+/// \file cost_model.hpp
+/// Kernel-level roofline timing (the paper's Eq. 1): the execution time of a
+/// layer on a computing component is the sum of its kernels' times, each of
+/// which is the larger of its compute time and its memory-traffic time, plus
+/// the component's dispatch overhead.
+
+#include "device/device.hpp"
+#include "models/layer_desc.hpp"
+
+namespace omniboost::device {
+
+/// Evaluates layer/kernel execution times against a DeviceSpec.
+///
+/// Times returned here are *uncontended*: the simulator scales them with the
+/// per-component working-set penalty and applies the DRAM wall.
+class CostModel {
+ public:
+  explicit CostModel(const DeviceSpec& device) : device_(&device) {}
+
+  /// b_k_alpha — execution time of one kernel on one component (seconds).
+  double kernel_time(const models::KernelDesc& kernel, ComponentId comp) const;
+
+  /// B_l_alpha = sum over kernels (Eq. 1).
+  double layer_time(const models::LayerDesc& layer, ComponentId comp) const;
+
+  /// Total solo time of a layer range [first, last] (inclusive).
+  double segment_time(const models::NetworkDesc& net, std::size_t first,
+                      std::size_t last, ComponentId comp) const;
+
+  /// Resident working set of a layer range: weights plus the largest
+  /// intermediate activation (buffers are reused between layers).
+  double segment_working_set_bytes(const models::NetworkDesc& net,
+                                   std::size_t first, std::size_t last) const;
+
+  /// DRAM traffic of one inference through a layer range.
+  double segment_traffic_bytes(const models::NetworkDesc& net,
+                               std::size_t first, std::size_t last) const;
+
+  /// Cost of moving an activation of \p bytes between two distinct
+  /// components (0 when from == to).
+  double transfer_time(double bytes, ComponentId from, ComponentId to) const;
+
+  const DeviceSpec& device() const { return *device_; }
+
+ private:
+  const DeviceSpec* device_;
+};
+
+}  // namespace omniboost::device

@@ -1,0 +1,81 @@
+#include "device/device.hpp"
+
+#include <stdexcept>
+
+namespace omniboost::device {
+
+std::string_view component_name(ComponentId id) {
+  switch (id) {
+    case ComponentId::kGpu: return "GPU";
+    case ComponentId::kBigCpu: return "big";
+    case ComponentId::kLittleCpu: return "LITTLE";
+  }
+  throw std::invalid_argument("component_name: unknown ComponentId");
+}
+
+double ComponentSpec::kind_efficiency(models::KernelKind kind) const {
+  using models::KernelKind;
+  switch (kind) {
+    case KernelKind::kGemm:
+      return efficiency.gemm;
+    case KernelKind::kDirectConv:
+      return efficiency.direct_conv;
+    case KernelKind::kDepthwiseConv:
+      return efficiency.depthwise;
+    case KernelKind::kIm2col:
+    case KernelKind::kBias:
+    case KernelKind::kActivation:
+    case KernelKind::kPool:
+    case KernelKind::kNorm:
+    case KernelKind::kEltwiseAdd:
+    case KernelKind::kConcat:
+    case KernelKind::kSoftmax:
+      return efficiency.elementwise;
+  }
+  throw std::invalid_argument("kind_efficiency: unknown KernelKind");
+}
+
+DeviceSpec make_hikey970() {
+  DeviceSpec d;
+  d.name = "HiKey970";
+  d.dram_bw_gbps = 8.0;           // LPDDR4X achievable aggregate
+  d.memory_budget_bytes = 4.0e9;  // 6 GB minus OS / framework residency
+  d.per_stream_overhead_bytes = 450e6;
+  d.per_inference_overhead_s = 20e-3;
+
+  ComponentSpec gpu;
+  gpu.name = "Mali-G72 MP12";
+  gpu.peak_gflops = 230.0;        // 12 cores @ 767 MHz fp32
+  gpu.mem_bw_gbps = 10.0;
+  gpu.kernel_overhead_s = 60e-6;  // OpenCL dispatch
+  gpu.efficiency = {/*gemm=*/0.40, /*direct=*/0.35, /*depthwise=*/0.08,
+                    /*elementwise=*/0.20};
+  gpu.working_set_budget_bytes = 950e6;
+  gpu.contention_exponent = 2.0;
+
+  ComponentSpec big;
+  big.name = "Cortex-A73 x4 @ 2.36 GHz";
+  big.peak_gflops = 75.5;         // 4 cores x 8 fp32 FLOP/cycle x 2.36 GHz
+  big.mem_bw_gbps = 8.0;
+  big.kernel_overhead_s = 8e-6;
+  big.efficiency = {/*gemm=*/0.40, /*direct=*/0.35, /*depthwise=*/0.30,
+                    /*elementwise=*/0.25};
+  big.working_set_budget_bytes = 600e6;
+  big.contention_exponent = 1.1;
+
+  ComponentSpec little;
+  little.name = "Cortex-A53 x4 @ 1.8 GHz";
+  little.peak_gflops = 28.8;      // 4 cores x 4 fp32 FLOP/cycle x 1.8 GHz
+  little.mem_bw_gbps = 4.5;
+  little.kernel_overhead_s = 14e-6;
+  little.efficiency = {/*gemm=*/0.30, /*direct=*/0.27, /*depthwise=*/0.25,
+                       /*elementwise=*/0.20};
+  little.working_set_budget_bytes = 300e6;
+  little.contention_exponent = 1.0;
+
+  d.components = {gpu, big, little};
+  d.link = LinkSpec{3.0, 1e-3};
+  return d;
+}
+
+}  // namespace omniboost::device

@@ -1,0 +1,101 @@
+#pragma once
+/// \file device.hpp
+/// The heterogeneous-board model that substitutes for the physical HiKey970.
+///
+/// A DeviceSpec describes the computing components (GPU, big CPU cluster,
+/// LITTLE CPU cluster), their per-kernel-kind efficiencies, inter-component
+/// transfer links, the shared DRAM, and the contention parameters that
+/// reproduce the board-level phenomena the paper's evaluation rests on
+/// (GPU saturation under heavy multi-DNN residency, global memory wall,
+/// out-of-memory unresponsiveness). Defaults in make_hikey970() are derived
+/// from public HiKey970 / ARM-Compute-Library figures; DESIGN.md documents
+/// the substitution.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "models/layer_desc.hpp"
+
+namespace omniboost::device {
+
+/// The three computing components of the HiKey970 (paper §II).
+enum class ComponentId : std::size_t {
+  kGpu = 0,     ///< Mali-G72 MP12
+  kBigCpu = 1,  ///< quad Cortex-A73 @ 2.36 GHz
+  kLittleCpu = 2,  ///< quad Cortex-A53 @ 1.8 GHz
+};
+
+/// Number of computing components (the paper's x, also the max pipeline
+/// stages per DNN).
+inline constexpr std::size_t kNumComponents = 3;
+
+inline constexpr std::array<ComponentId, kNumComponents> kAllComponents = {
+    ComponentId::kGpu, ComponentId::kBigCpu, ComponentId::kLittleCpu};
+
+constexpr std::size_t component_index(ComponentId id) {
+  return static_cast<std::size_t>(id);
+}
+
+/// Short display name ("GPU", "big", "LITTLE").
+std::string_view component_name(ComponentId id);
+
+/// Achieved fraction of peak FLOPS per kernel category.
+struct KernelEfficiency {
+  double gemm = 0.5;
+  double direct_conv = 0.5;
+  double depthwise = 0.3;   ///< depthwise conv maps poorly to GPUs
+  double elementwise = 0.2; ///< bias/activation/add/pool and friends
+};
+
+/// One computing component's performance model.
+struct ComponentSpec {
+  std::string name;
+  double peak_gflops = 0.0;      ///< theoretical fp32 peak
+  double mem_bw_gbps = 0.0;      ///< achievable local memory bandwidth
+  double kernel_overhead_s = 0.0;///< fixed dispatch overhead per kernel
+  KernelEfficiency efficiency;
+
+  /// Resident working-set budget before locality collapses (bytes).
+  double working_set_budget_bytes = 0.0;
+  /// Exponent of the oversubscription penalty:
+  /// service multiplier = max(1, ws / budget)^contention_exponent.
+  double contention_exponent = 1.0;
+
+  /// Fraction of peak available per kernel of the given kind.
+  double kind_efficiency(models::KernelKind kind) const;
+};
+
+/// Inter-component transfer link (via shared memory + coherency traffic).
+struct LinkSpec {
+  double bandwidth_gbps = 3.0;  ///< effective copy bandwidth
+  double latency_s = 1e-3;      ///< map/unmap + synchronization cost
+};
+
+/// The whole board.
+struct DeviceSpec {
+  std::string name;
+  std::array<ComponentSpec, kNumComponents> components;
+  LinkSpec link;                ///< uniform pairwise link model
+  double dram_bw_gbps = 14.0;   ///< shared-DRAM bandwidth wall
+  double memory_budget_bytes = 4.0e9;  ///< usable RAM before "unresponsive"
+  /// Fixed framework residency per concurrent DNN stream (runtime arenas,
+  /// graph metadata, pipeline buffers).
+  double per_stream_overhead_bytes = 450e6;
+  /// Per-inference framework cost charged to each stream's first pipeline
+  /// stage (input staging, graph dispatch, output collection). Bounds how
+  /// fast very light models can spin regardless of placement.
+  double per_inference_overhead_s = 20e-3;
+
+  const ComponentSpec& component(ComponentId id) const {
+    return components[component_index(id)];
+  }
+  ComponentSpec& component(ComponentId id) {
+    return components[component_index(id)];
+  }
+};
+
+/// Calibrated HiKey970 model (Mali-G72 MP12 + 4xA73 + 4xA53, LPDDR4X).
+DeviceSpec make_hikey970();
+
+}  // namespace omniboost::device

@@ -1,0 +1,87 @@
+#pragma once
+/// \file layer_desc.hpp
+/// Static descriptions of DNN layers at the granularity OmniBoost schedules:
+/// one *schedulable layer* per partitionable unit, each decomposed into the
+/// compute-library kernels it would launch (Eq. 1 of the paper sums per-kernel
+/// execution times into the layer cost B_l_alpha).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace omniboost::models {
+
+/// Feature-map dimensions (channels, height, width) of an activation tensor.
+struct Dims {
+  std::size_t c = 0, h = 0, w = 0;
+
+  std::size_t count() const { return c * h * w; }
+  /// Size in bytes assuming fp32 activations (ARM-CL default precision).
+  double bytes() const { return 4.0 * static_cast<double>(count()); }
+  bool operator==(const Dims&) const = default;
+};
+
+/// The kernel types an ARM-CL-style backend launches for one layer.
+enum class KernelKind {
+  kIm2col,        ///< patch-matrix materialization before GEMM convolution
+  kGemm,          ///< matrix multiply (conv core / fully connected)
+  kDirectConv,    ///< direct convolution (small kernels)
+  kDepthwiseConv, ///< per-channel convolution (MobileNet)
+  kBias,          ///< bias addition
+  kActivation,    ///< ReLU and friends
+  kPool,          ///< max/avg pooling
+  kNorm,          ///< LRN / batch-norm folding
+  kEltwiseAdd,    ///< residual addition
+  kConcat,        ///< channel concatenation (Inception / Fire expand)
+  kSoftmax,       ///< classifier head
+};
+
+/// One kernel launch: its arithmetic and memory footprint.
+struct KernelDesc {
+  KernelKind kind = KernelKind::kGemm;
+  double flops = 0.0;        ///< floating-point operations (2x MACs)
+  double bytes = 0.0;        ///< DRAM traffic estimate: reads + writes
+};
+
+/// Broad layer category; drives per-component efficiency in the cost model.
+enum class LayerKind {
+  kConv,           ///< standard convolution (GEMM-dominated)
+  kDepthwiseConv,  ///< depthwise separable part (poor GPU efficiency)
+  kFullyConnected, ///< dense layer (memory-bound)
+  kPool,           ///< pooling (memory-bound)
+  kResidualBlock,  ///< fused basic/bottleneck residual block
+  kInceptionBlock, ///< fused multi-branch inception module
+  kFire,           ///< SqueezeNet squeeze or expand stage
+};
+
+/// One schedulable layer (the unit MCTS assigns to a computing component).
+struct LayerDesc {
+  std::string name;          ///< e.g. "conv3_2", "res4b12"
+  LayerKind kind = LayerKind::kConv;
+  Dims input;                ///< activation entering the layer
+  Dims output;               ///< activation leaving the layer
+  double weight_bytes = 0.0; ///< parameter footprint (fp32)
+  std::vector<KernelDesc> kernels;
+
+  /// Sum of kernel FLOPs.
+  double flops() const;
+  /// Sum of kernel DRAM traffic.
+  double traffic_bytes() const;
+  /// Activation bytes produced (what a pipeline cut here must transfer).
+  double output_bytes() const { return output.bytes(); }
+};
+
+/// A full network: ordered schedulable layers plus metadata.
+struct NetworkDesc {
+  std::string name;
+  Dims input;                 ///< network input (e.g. 3x224x224)
+  std::vector<LayerDesc> layers;
+
+  std::size_t num_layers() const { return layers.size(); }
+  double total_flops() const;
+  double total_weight_bytes() const;
+  /// Peak single-layer activation output in bytes.
+  double max_activation_bytes() const;
+};
+
+}  // namespace omniboost::models

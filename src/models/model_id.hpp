@@ -1,0 +1,50 @@
+#pragma once
+/// \file model_id.hpp
+/// Identifiers for the 11 DNNs of the paper's dataset (§V): AlexNet,
+/// MobileNet, ResNet-34/50/101, VGG-13/16/19, SqueezeNet, Inception-v3/v4.
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace omniboost::models {
+
+/// Dataset DNNs, in the order listed in the paper.
+enum class ModelId : std::size_t {
+  kAlexNet = 0,
+  kMobileNet,
+  kResNet34,
+  kResNet50,
+  kResNet101,
+  kVgg13,
+  kVgg16,
+  kVgg19,
+  kSqueezeNet,
+  kInceptionV3,
+  kInceptionV4,
+};
+
+/// Number of models in the dataset (the embedding tensor's M dimension).
+inline constexpr std::size_t kNumModels = 11;
+
+/// All model ids in dataset order.
+inline constexpr std::array<ModelId, kNumModels> kAllModels = {
+    ModelId::kAlexNet,    ModelId::kMobileNet,  ModelId::kResNet34,
+    ModelId::kResNet50,   ModelId::kResNet101,  ModelId::kVgg13,
+    ModelId::kVgg16,      ModelId::kVgg19,      ModelId::kSqueezeNet,
+    ModelId::kInceptionV3, ModelId::kInceptionV4,
+};
+
+/// Stable display name, e.g. "ResNet-50".
+std::string_view model_name(ModelId id);
+
+/// Inverse of model_name, case-insensitive and tolerant of omitted dashes
+/// ("resnet50" == "ResNet-50"). Returns true and sets \p out on success.
+bool parse_model_name(std::string_view name, ModelId& out);
+
+/// Index in [0, kNumModels).
+constexpr std::size_t model_index(ModelId id) {
+  return static_cast<std::size_t>(id);
+}
+
+}  // namespace omniboost::models

@@ -1,0 +1,317 @@
+#include "models/net_builder.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace omniboost::models {
+
+double LayerDesc::flops() const {
+  double f = 0.0;
+  for (const auto& k : kernels) f += k.flops;
+  return f;
+}
+
+double LayerDesc::traffic_bytes() const {
+  double b = 0.0;
+  for (const auto& k : kernels) b += k.bytes;
+  return b;
+}
+
+double NetworkDesc::total_flops() const {
+  double f = 0.0;
+  for (const auto& l : layers) f += l.flops();
+  return f;
+}
+
+double NetworkDesc::total_weight_bytes() const {
+  double b = 0.0;
+  for (const auto& l : layers) b += l.weight_bytes;
+  return b;
+}
+
+double NetworkDesc::max_activation_bytes() const {
+  double b = 0.0;
+  for (const auto& l : layers) b = std::max(b, l.output_bytes());
+  return b;
+}
+
+std::size_t conv_out_extent(std::size_t in, std::size_t kernel,
+                            std::size_t stride, std::size_t padding) {
+  OB_REQUIRE(in + 2 * padding >= kernel, "conv_out_extent: kernel too large");
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+NetBuilder::NetBuilder(std::string name, Dims input) : current_(input) {
+  OB_REQUIRE(input.count() > 0, "NetBuilder: degenerate input shape");
+  net_.name = std::move(name);
+  net_.input = input;
+}
+
+LayerDesc& NetBuilder::push(LayerKind kind, Dims output,
+                            const std::string& name,
+                            const std::string& fallback_prefix) {
+  LayerDesc layer;
+  layer.kind = kind;
+  layer.input = current_;
+  layer.output = output;
+  layer.name = name.empty()
+                   ? fallback_prefix + "_" + std::to_string(++auto_index_)
+                   : name;
+  net_.layers.push_back(std::move(layer));
+  current_ = output;
+  return net_.layers.back();
+}
+
+Dims NetBuilder::conv_out(const Dims& in, const ConvSpec& spec) {
+  return Dims{spec.out_ch,
+              conv_out_extent(in.h, spec.kh, spec.stride, spec.ph),
+              conv_out_extent(in.w, spec.kw, spec.stride, spec.pw)};
+}
+
+double NetBuilder::add_conv_kernels(LayerDesc& layer, Dims in,
+                                    const ConvSpec& spec) const {
+  OB_REQUIRE(spec.out_ch > 0, "conv: out_ch must be positive");
+  const Dims out = conv_out(in, spec);
+  const double taps = static_cast<double>(spec.kh) * spec.kw;
+  const double macs = taps * static_cast<double>(in.c) *
+                      static_cast<double>(out.count());
+  const double weight_bytes =
+      4.0 * taps * static_cast<double>(in.c) * static_cast<double>(spec.out_ch);
+  const double patch_bytes =
+      4.0 * taps * static_cast<double>(in.c) *
+      static_cast<double>(out.h) * static_cast<double>(out.w);
+
+  if (spec.kh > 1 || spec.kw > 1) {
+    // ARM-CL lowers non-1x1 convs to im2col + GEMM.
+    layer.kernels.push_back(
+        {KernelKind::kIm2col, 0.0, in.bytes() + patch_bytes});
+    layer.kernels.push_back({KernelKind::kGemm, 2.0 * macs,
+                             patch_bytes + weight_bytes + out.bytes()});
+  } else {
+    // 1x1 conv is a plain GEMM over the activation.
+    layer.kernels.push_back({KernelKind::kGemm, 2.0 * macs,
+                             in.bytes() + weight_bytes + out.bytes()});
+  }
+  layer.kernels.push_back(
+      {KernelKind::kBias, static_cast<double>(out.count()), out.bytes()});
+  layer.kernels.push_back({KernelKind::kActivation,
+                           static_cast<double>(out.count()),
+                           2.0 * out.bytes()});
+  return weight_bytes + 4.0 * static_cast<double>(spec.out_ch) /*bias*/;
+}
+
+NetBuilder& NetBuilder::conv(std::size_t out_ch, std::size_t kernel,
+                             std::size_t stride, std::size_t padding,
+                             const std::string& name) {
+  const Dims in = current_;
+  const ConvSpec spec = ConvSpec::square(out_ch, kernel, stride, padding);
+  LayerDesc& layer = push(LayerKind::kConv, conv_out(in, spec), name, "conv");
+  layer.weight_bytes = add_conv_kernels(layer, in, spec);
+  return *this;
+}
+
+NetBuilder& NetBuilder::depthwise(std::size_t stride,
+                                  const std::string& name) {
+  const Dims in = current_;
+  constexpr std::size_t k = 3, pad = 1;
+  const Dims out{in.c, conv_out_extent(in.h, k, stride, pad),
+                 conv_out_extent(in.w, k, stride, pad)};
+  LayerDesc& layer = push(LayerKind::kDepthwiseConv, out, name, "dwconv");
+  const double macs =
+      static_cast<double>(k) * k * static_cast<double>(out.count());
+  layer.kernels.push_back(
+      {KernelKind::kDepthwiseConv, 2.0 * macs, in.bytes() + out.bytes()});
+  layer.kernels.push_back(
+      {KernelKind::kBias, static_cast<double>(out.count()), out.bytes()});
+  layer.kernels.push_back({KernelKind::kActivation,
+                           static_cast<double>(out.count()),
+                           2.0 * out.bytes()});
+  layer.weight_bytes =
+      4.0 * (static_cast<double>(k) * k * static_cast<double>(in.c) +
+             static_cast<double>(in.c));
+  return *this;
+}
+
+NetBuilder& NetBuilder::pointwise(std::size_t out_ch,
+                                  const std::string& name) {
+  return conv(out_ch, 1, 1, 0, name);
+}
+
+NetBuilder& NetBuilder::maxpool(std::size_t kernel, std::size_t stride,
+                                std::size_t padding, const std::string& name) {
+  const Dims in = current_;
+  const Dims out{in.c, conv_out_extent(in.h, kernel, stride, padding),
+                 conv_out_extent(in.w, kernel, stride, padding)};
+  LayerDesc& layer = push(LayerKind::kPool, out, name, "pool");
+  layer.kernels.push_back(
+      {KernelKind::kPool,
+       static_cast<double>(kernel * kernel) * static_cast<double>(out.count()),
+       in.bytes() + out.bytes()});
+  return *this;
+}
+
+NetBuilder& NetBuilder::global_avgpool(const std::string& name) {
+  const Dims in = current_;
+  const Dims out{in.c, 1, 1};
+  LayerDesc& layer = push(LayerKind::kPool, out, name, "gap");
+  layer.kernels.push_back({KernelKind::kPool,
+                           static_cast<double>(in.count()),
+                           in.bytes() + out.bytes()});
+  return *this;
+}
+
+NetBuilder& NetBuilder::fc(std::size_t out_features, bool softmax,
+                           const std::string& name) {
+  const Dims in = current_;
+  const Dims out{out_features, 1, 1};
+  LayerDesc& layer = push(LayerKind::kFullyConnected, out, name, "fc");
+  const double macs =
+      static_cast<double>(in.count()) * static_cast<double>(out_features);
+  const double weight_bytes = 4.0 * macs;
+  layer.kernels.push_back({KernelKind::kGemm, 2.0 * macs,
+                           in.bytes() + weight_bytes + out.bytes()});
+  layer.kernels.push_back(
+      {KernelKind::kBias, static_cast<double>(out_features), out.bytes()});
+  if (softmax) {
+    layer.kernels.push_back({KernelKind::kSoftmax,
+                             5.0 * static_cast<double>(out_features),
+                             2.0 * out.bytes()});
+  } else {
+    layer.kernels.push_back({KernelKind::kActivation,
+                             static_cast<double>(out_features),
+                             2.0 * out.bytes()});
+  }
+  layer.weight_bytes = weight_bytes + 4.0 * static_cast<double>(out_features);
+  return *this;
+}
+
+NetBuilder& NetBuilder::fire_squeeze(std::size_t squeeze_ch,
+                                     const std::string& name) {
+  const Dims in = current_;
+  const Dims out{squeeze_ch, in.h, in.w};
+  LayerDesc& layer = push(LayerKind::kFire, out, name, "fire_sq");
+  layer.weight_bytes =
+      add_conv_kernels(layer, in, ConvSpec::square(squeeze_ch, 1));
+  return *this;
+}
+
+NetBuilder& NetBuilder::fire_expand(std::size_t expand1_ch,
+                                    std::size_t expand3_ch,
+                                    const std::string& name) {
+  const Dims in = current_;
+  const Dims out{expand1_ch + expand3_ch, in.h, in.w};
+  LayerDesc& layer = push(LayerKind::kFire, out, name, "fire_ex");
+  double wb = add_conv_kernels(layer, in, ConvSpec::square(expand1_ch, 1));
+  wb += add_conv_kernels(layer, in, ConvSpec::square(expand3_ch, 3, 1, 1));
+  layer.kernels.push_back({KernelKind::kConcat, 0.0, 2.0 * out.bytes()});
+  layer.weight_bytes = wb;
+  return *this;
+}
+
+NetBuilder& NetBuilder::residual_basic(std::size_t out_ch, std::size_t stride,
+                                       const std::string& name) {
+  const Dims in = current_;
+  const Dims out{out_ch, conv_out_extent(in.h, 3, stride, 1),
+                 conv_out_extent(in.w, 3, stride, 1)};
+  LayerDesc& layer = push(LayerKind::kResidualBlock, out, name, "res");
+  double wb =
+      add_conv_kernels(layer, in, ConvSpec::square(out_ch, 3, stride, 1));
+  wb += add_conv_kernels(layer, {out_ch, out.h, out.w},
+                         ConvSpec::square(out_ch, 3, 1, 1));
+  if (stride != 1 || in.c != out_ch) {
+    // 1x1 projection shortcut.
+    wb += add_conv_kernels(layer, in, ConvSpec::square(out_ch, 1, stride, 0));
+  }
+  layer.kernels.push_back({KernelKind::kEltwiseAdd,
+                           static_cast<double>(out.count()),
+                           3.0 * out.bytes()});
+  layer.weight_bytes = wb;
+  return *this;
+}
+
+NetBuilder& NetBuilder::residual_bottleneck(std::size_t mid_ch,
+                                            std::size_t out_ch,
+                                            std::size_t stride,
+                                            const std::string& name) {
+  const Dims in = current_;
+  const Dims out{out_ch, conv_out_extent(in.h, 1, stride, 0),
+                 conv_out_extent(in.w, 1, stride, 0)};
+  LayerDesc& layer = push(LayerKind::kResidualBlock, out, name, "res");
+  double wb =
+      add_conv_kernels(layer, in, ConvSpec::square(mid_ch, 1, stride, 0));
+  wb += add_conv_kernels(layer, {mid_ch, out.h, out.w},
+                         ConvSpec::square(mid_ch, 3, 1, 1));
+  wb += add_conv_kernels(layer, {mid_ch, out.h, out.w},
+                         ConvSpec::square(out_ch, 1, 1, 0));
+  if (stride != 1 || in.c != out_ch) {
+    wb += add_conv_kernels(layer, in, ConvSpec::square(out_ch, 1, stride, 0));
+  }
+  layer.kernels.push_back({KernelKind::kEltwiseAdd,
+                           static_cast<double>(out.count()),
+                           3.0 * out.bytes()});
+  layer.weight_bytes = wb;
+  return *this;
+}
+
+NetBuilder& NetBuilder::inception(
+    const std::vector<std::vector<ConvSpec>>& branches,
+    std::size_t pool_proj_ch, std::size_t pool_stride,
+    const std::string& name) {
+  OB_REQUIRE(!branches.empty(), "inception: needs at least one conv branch");
+  const Dims in = current_;
+
+  // Walk each branch to find the common output spatial extent.
+  std::size_t total_ch = 0;
+  Dims spatial{};
+  bool first = true;
+  for (const auto& chain : branches) {
+    OB_REQUIRE(!chain.empty(), "inception: empty conv chain");
+    Dims d = in;
+    for (const auto& cs : chain) d = conv_out(d, cs);
+    if (first) {
+      spatial = d;
+      first = false;
+    } else {
+      OB_REQUIRE(d.h == spatial.h && d.w == spatial.w,
+                 "inception: branch spatial mismatch");
+    }
+    total_ch += d.c;
+  }
+
+  // Pool branch: 3x3 pool (padded when stride 1 so spatial is preserved),
+  // then 1x1 projection or channel passthrough.
+  const std::size_t pool_pad = pool_stride == 1 ? 1 : 0;
+  const Dims pooled{in.c, conv_out_extent(in.h, 3, pool_stride, pool_pad),
+                    conv_out_extent(in.w, 3, pool_stride, pool_pad)};
+  OB_REQUIRE(pooled.h == spatial.h && pooled.w == spatial.w,
+             "inception: pool branch spatial mismatch");
+  total_ch += pool_proj_ch > 0 ? pool_proj_ch : in.c;
+
+  const Dims out{total_ch, spatial.h, spatial.w};
+  LayerDesc& layer = push(LayerKind::kInceptionBlock, out, name, "incep");
+
+  double wb = 0.0;
+  for (const auto& chain : branches) {
+    Dims d = in;
+    for (const auto& cs : chain) {
+      wb += add_conv_kernels(layer, d, cs);
+      d = conv_out(d, cs);
+    }
+  }
+  layer.kernels.push_back({KernelKind::kPool,
+                           9.0 * static_cast<double>(pooled.count()),
+                           in.bytes() + pooled.bytes()});
+  if (pool_proj_ch > 0)
+    wb += add_conv_kernels(layer, pooled, ConvSpec::square(pool_proj_ch, 1));
+  layer.kernels.push_back({KernelKind::kConcat, 0.0, 2.0 * out.bytes()});
+  layer.weight_bytes = wb;
+  return *this;
+}
+
+NetworkDesc NetBuilder::build() && {
+  OB_REQUIRE(!net_.layers.empty(), "NetBuilder: empty network");
+  return std::move(net_);
+}
+
+}  // namespace omniboost::models

@@ -1,0 +1,105 @@
+#pragma once
+/// \file net_builder.hpp
+/// Fluent construction of NetworkDesc objects. The builder walks activation
+/// shapes through the network and synthesizes the per-layer kernel lists
+/// (im2col + GEMM + bias + activation, etc.) with FLOP and traffic estimates,
+/// mirroring what an ARM-CL graph compilation would launch.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "models/layer_desc.hpp"
+
+namespace omniboost::models {
+
+/// Spec of one convolution inside a composite (residual/inception) block.
+/// Supports rectangular kernels (Inception's 1x7 / 7x1 factorizations).
+struct ConvSpec {
+  std::size_t out_ch = 0;
+  std::size_t kh = 3, kw = 3;
+  std::size_t stride = 1;
+  std::size_t ph = 0, pw = 0;
+
+  /// Square kernel helper.
+  static ConvSpec square(std::size_t out_ch, std::size_t k,
+                         std::size_t stride = 1, std::size_t pad = 0) {
+    return ConvSpec{out_ch, k, k, stride, pad, pad};
+  }
+};
+
+/// Builds a NetworkDesc layer by layer, tracking the activation shape.
+class NetBuilder {
+ public:
+  NetBuilder(std::string name, Dims input);
+
+  /// Standard square convolution + bias + activation as one schedulable layer.
+  NetBuilder& conv(std::size_t out_ch, std::size_t kernel, std::size_t stride,
+                   std::size_t padding, const std::string& name = "");
+
+  /// Depthwise 3x3 convolution (stride s) as one schedulable layer.
+  NetBuilder& depthwise(std::size_t stride, const std::string& name = "");
+
+  /// Pointwise (1x1) convolution; MobileNet's second half of a dw-sep block.
+  NetBuilder& pointwise(std::size_t out_ch, const std::string& name = "");
+
+  /// Max pooling as a standalone schedulable layer.
+  NetBuilder& maxpool(std::size_t kernel, std::size_t stride,
+                      std::size_t padding = 0, const std::string& name = "");
+
+  /// Global average pooling to 1x1.
+  NetBuilder& global_avgpool(const std::string& name = "");
+
+  /// Fully connected layer (+ optional softmax on the final one).
+  NetBuilder& fc(std::size_t out_features, bool softmax = false,
+                 const std::string& name = "");
+
+  /// SqueezeNet squeeze stage (1x1 conv reducing channels).
+  NetBuilder& fire_squeeze(std::size_t squeeze_ch, const std::string& name);
+
+  /// SqueezeNet expand stage: parallel 1x1 and 3x3 convs + concat.
+  NetBuilder& fire_expand(std::size_t expand1_ch, std::size_t expand3_ch,
+                          const std::string& name);
+
+  /// ResNet basic block (two 3x3 convs + skip), one schedulable unit.
+  NetBuilder& residual_basic(std::size_t out_ch, std::size_t stride,
+                             const std::string& name);
+
+  /// ResNet bottleneck block (1x1 -> 3x3 -> 1x1 + skip), one unit.
+  NetBuilder& residual_bottleneck(std::size_t mid_ch, std::size_t out_ch,
+                                  std::size_t stride, const std::string& name);
+
+  /// Inception module: parallel conv-chain branches plus one 3x3 pool branch,
+  /// all concatenated. The pool branch projects to \p pool_proj_ch channels
+  /// via 1x1 conv when pool_proj_ch > 0, otherwise passes its input channels
+  /// through unchanged (reduction modules). \p pool_stride matches the
+  /// branches' spatial reduction (1 for A/B/C modules, 2 for reductions).
+  NetBuilder& inception(const std::vector<std::vector<ConvSpec>>& branches,
+                        std::size_t pool_proj_ch, std::size_t pool_stride,
+                        const std::string& name);
+
+  /// Current activation shape (for assertions while building).
+  const Dims& shape() const { return current_; }
+
+  /// Finalizes and returns the network.
+  NetworkDesc build() &&;
+
+ private:
+  LayerDesc& push(LayerKind kind, Dims output, const std::string& name,
+                  const std::string& fallback_prefix);
+  /// Appends the kernels of one convolution to \p layer and returns its
+  /// weight+bias byte footprint.
+  double add_conv_kernels(LayerDesc& layer, Dims in, const ConvSpec& spec) const;
+  /// Shape produced by \p spec applied to \p in.
+  static Dims conv_out(const Dims& in, const ConvSpec& spec);
+
+  NetworkDesc net_;
+  Dims current_;
+  std::size_t auto_index_ = 0;
+};
+
+/// Output spatial extent of a conv/pool: floor((in + 2p - k)/s) + 1.
+std::size_t conv_out_extent(std::size_t in, std::size_t kernel,
+                            std::size_t stride, std::size_t padding);
+
+}  // namespace omniboost::models

@@ -1,0 +1,79 @@
+#include "models/zoo.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/require.hpp"
+
+namespace omniboost::models {
+
+std::string_view model_name(ModelId id) {
+  switch (id) {
+    case ModelId::kAlexNet: return "AlexNet";
+    case ModelId::kMobileNet: return "MobileNet";
+    case ModelId::kResNet34: return "ResNet-34";
+    case ModelId::kResNet50: return "ResNet-50";
+    case ModelId::kResNet101: return "ResNet-101";
+    case ModelId::kVgg13: return "VGG-13";
+    case ModelId::kVgg16: return "VGG-16";
+    case ModelId::kVgg19: return "VGG-19";
+    case ModelId::kSqueezeNet: return "SqueezeNet";
+    case ModelId::kInceptionV3: return "Inception-v3";
+    case ModelId::kInceptionV4: return "Inception-v4";
+  }
+  throw std::invalid_argument("model_name: unknown ModelId");
+}
+
+bool parse_model_name(std::string_view name, ModelId& out) {
+  // Canonical form: lower-case, dashes/underscores/dots stripped.
+  const auto canon = [](std::string_view v) {
+    std::string c;
+    c.reserve(v.size());
+    for (const char ch : v) {
+      if (ch == '-' || ch == '_' || ch == '.' || ch == ' ') continue;
+      c += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    return c;
+  };
+  const std::string wanted = canon(name);
+  for (const ModelId id : kAllModels) {
+    if (canon(model_name(id)) == wanted) {
+      out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+NetworkDesc make_model(ModelId id) {
+  switch (id) {
+    case ModelId::kAlexNet: return make_alexnet();
+    case ModelId::kMobileNet: return make_mobilenet();
+    case ModelId::kResNet34: return make_resnet34();
+    case ModelId::kResNet50: return make_resnet50();
+    case ModelId::kResNet101: return make_resnet101();
+    case ModelId::kVgg13: return make_vgg13();
+    case ModelId::kVgg16: return make_vgg16();
+    case ModelId::kVgg19: return make_vgg19();
+    case ModelId::kSqueezeNet: return make_squeezenet();
+    case ModelId::kInceptionV3: return make_inception_v3();
+    case ModelId::kInceptionV4: return make_inception_v4();
+  }
+  throw std::invalid_argument("make_model: unknown ModelId");
+}
+
+ModelZoo::ModelZoo() {
+  nets_.reserve(kNumModels);
+  for (ModelId id : kAllModels) {
+    nets_.push_back(make_model(id));
+    max_layers_ = std::max(max_layers_, nets_.back().num_layers());
+  }
+}
+
+const NetworkDesc& ModelZoo::network(ModelId id) const {
+  const std::size_t idx = model_index(id);
+  OB_REQUIRE(idx < nets_.size(), "ModelZoo::network: id out of range");
+  return nets_[idx];
+}
+
+}  // namespace omniboost::models

@@ -1,0 +1,52 @@
+#pragma once
+/// \file zoo.hpp
+/// The model zoo: layer-level descriptions of the paper's 11 dataset DNNs.
+/// Architectures follow the original publications; composite residual /
+/// inception blocks are exposed as single schedulable layers because a skip
+/// connection cannot be cut between components without duplicate transfers
+/// (see DESIGN.md, "Layer granularity").
+
+#include <cstddef>
+#include <vector>
+
+#include "models/layer_desc.hpp"
+#include "models/model_id.hpp"
+
+namespace omniboost::models {
+
+/// Individual builders (exposed for tests and custom workloads).
+NetworkDesc make_alexnet();
+NetworkDesc make_mobilenet();
+NetworkDesc make_resnet34();
+NetworkDesc make_resnet50();
+NetworkDesc make_resnet101();
+NetworkDesc make_vgg13();
+NetworkDesc make_vgg16();
+NetworkDesc make_vgg19();
+NetworkDesc make_squeezenet();
+NetworkDesc make_inception_v3();
+NetworkDesc make_inception_v4();
+
+/// Builds the network for a given id.
+NetworkDesc make_model(ModelId id);
+
+/// Immutable collection of all dataset networks, built once.
+class ModelZoo {
+ public:
+  /// Builds all kNumModels networks.
+  ModelZoo();
+
+  const NetworkDesc& network(ModelId id) const;
+  const std::vector<NetworkDesc>& networks() const { return nets_; }
+
+  std::size_t num_models() const { return nets_.size(); }
+
+  /// Longest layer count over the zoo — the embedding tensor's L dimension.
+  std::size_t max_layers() const { return max_layers_; }
+
+ private:
+  std::vector<NetworkDesc> nets_;
+  std::size_t max_layers_ = 0;
+};
+
+}  // namespace omniboost::models

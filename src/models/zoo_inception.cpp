@@ -1,0 +1,139 @@
+/// \file zoo_inception.cpp
+/// Inception-v3 and Inception-v4 (299x299 inputs). Each inception module is
+/// one schedulable layer. Two documented simplifications versus the original
+/// graphs (see DESIGN.md):
+///  * the v4 stem's internal branch/concat steps are linearized into an
+///    equivalent conv chain with matching shapes and FLOP budget;
+///  * the C modules' "split" pairs (1x3 and 3x1 from one 1x1) are modelled as
+///    a single 1x3 convolution with the combined output channels, which has
+///    identical MAC count.
+
+#include "models/net_builder.hpp"
+#include "models/zoo.hpp"
+
+namespace omniboost::models {
+
+namespace {
+constexpr Dims kImageNet299{3, 299, 299};
+
+using Branches = std::vector<std::vector<ConvSpec>>;
+
+ConvSpec c1x1(std::size_t ch) { return ConvSpec::square(ch, 1); }
+ConvSpec c3x3(std::size_t ch, std::size_t stride = 1, std::size_t pad = 1) {
+  return ConvSpec::square(ch, 3, stride, pad);
+}
+ConvSpec c5x5(std::size_t ch) { return ConvSpec::square(ch, 5, 1, 2); }
+ConvSpec c1x7(std::size_t ch) { return ConvSpec{ch, 1, 7, 1, 0, 3}; }
+ConvSpec c7x1(std::size_t ch) { return ConvSpec{ch, 7, 1, 1, 3, 0}; }
+ConvSpec c1x3(std::size_t ch) { return ConvSpec{ch, 1, 3, 1, 0, 1}; }
+ConvSpec c3x1(std::size_t ch) { return ConvSpec{ch, 3, 1, 1, 1, 0}; }
+}  // namespace
+
+NetworkDesc make_inception_v3() {
+  NetBuilder b("Inception-v3", kImageNet299);
+  // Stem: 299 -> 35x35x192.
+  b.conv(32, 3, 2, 0, "conv1")       // 149
+      .conv(32, 3, 1, 0, "conv2")    // 147
+      .conv(64, 3, 1, 1, "conv3")    // 147
+      .maxpool(3, 2, 0, "pool1")     // 73
+      .conv(80, 1, 1, 0, "conv4")    // 73
+      .conv(192, 3, 1, 0, "conv5")   // 71
+      .maxpool(3, 2, 0, "pool2");    // 35
+
+  // 3x Inception-A (35x35): 256 -> 288 -> 288 channels.
+  const auto module_a = [&](std::size_t pool_proj, const char* name) {
+    b.inception({{c1x1(64)}, {c1x1(48), c5x5(64)},
+                 {c1x1(64), c3x3(96), c3x3(96)}},
+                pool_proj, 1, name);
+  };
+  module_a(32, "mixed_a1");
+  module_a(64, "mixed_a2");
+  module_a(64, "mixed_a3");
+
+  // Reduction-A: 35 -> 17, 288 -> 768 channels (pool branch passthrough).
+  b.inception({{ConvSpec::square(384, 3, 2, 0)},
+               {c1x1(64), c3x3(96), ConvSpec::square(96, 3, 2, 0)}},
+              0, 2, "reduction_a");
+
+  // 4x Inception-B (17x17, 768 channels), 7x1/1x7 factorized branches.
+  const auto module_b = [&](std::size_t ch7, const char* name) {
+    b.inception({{c1x1(192)},
+                 {c1x1(ch7), c1x7(ch7), c7x1(192)},
+                 {c1x1(ch7), c7x1(ch7), c1x7(ch7), c7x1(ch7), c1x7(192)}},
+                192, 1, name);
+  };
+  module_b(128, "mixed_b1");
+  module_b(160, "mixed_b2");
+  module_b(160, "mixed_b3");
+  module_b(192, "mixed_b4");
+
+  // Reduction-B: 17 -> 8, 768 -> 1280 channels.
+  b.inception({{c1x1(192), ConvSpec::square(320, 3, 2, 0)},
+               {c1x1(192), c1x7(192), c7x1(192),
+                ConvSpec::square(192, 3, 2, 0)}},
+              0, 2, "reduction_b");
+
+  // 2x Inception-C (8x8): 1280 -> 2048 -> 2048.
+  const auto module_c = [&](const char* name) {
+    b.inception({{c1x1(320)},
+                 {c1x1(384), c1x3(768)},          // split pair merged
+                 {c1x1(448), c3x3(384), c1x3(768)}},
+                192, 1, name);
+  };
+  module_c("mixed_c1");
+  module_c("mixed_c2");
+
+  b.global_avgpool("gap").fc(1000, true, "fc");
+  return std::move(b).build();
+}
+
+NetworkDesc make_inception_v4() {
+  NetBuilder b("Inception-v4", kImageNet299);
+  // Linearized stem: 299 -> 35x35x384.
+  b.conv(32, 3, 2, 0, "conv1")       // 149
+      .conv(32, 3, 1, 0, "conv2")    // 147
+      .conv(64, 3, 1, 1, "conv3")    // 147
+      .maxpool(3, 2, 0, "pool1")     // 73
+      .conv(96, 1, 1, 0, "conv4")    // 73
+      .conv(192, 3, 1, 0, "conv5")   // 71
+      .conv(384, 3, 2, 0, "conv6");  // 35
+
+  // 4x Inception-A (35x35, 384 channels).
+  for (int i = 1; i <= 4; ++i) {
+    b.inception({{c1x1(96)}, {c1x1(64), c3x3(96)},
+                 {c1x1(64), c3x3(96), c3x3(96)}},
+                96, 1, "inception_a" + std::to_string(i));
+  }
+
+  // Reduction-A: 35 -> 17, 384 -> 1024 channels.
+  b.inception({{ConvSpec::square(384, 3, 2, 0)},
+               {c1x1(192), c3x3(224), ConvSpec::square(256, 3, 2, 0)}},
+              0, 2, "reduction_a");
+
+  // 7x Inception-B (17x17, 1024 channels).
+  for (int i = 1; i <= 7; ++i) {
+    b.inception({{c1x1(384)},
+                 {c1x1(192), c1x7(224), c7x1(256)},
+                 {c1x1(192), c7x1(192), c1x7(224), c7x1(224), c1x7(256)}},
+                128, 1, "inception_b" + std::to_string(i));
+  }
+
+  // Reduction-B: 17 -> 8, 1024 -> 1536 channels.
+  b.inception({{c1x1(192), ConvSpec::square(192, 3, 2, 0)},
+               {c1x1(256), c1x7(256), c7x1(320),
+                ConvSpec::square(320, 3, 2, 0)}},
+              0, 2, "reduction_b");
+
+  // 3x Inception-C (8x8, 1536 channels).
+  for (int i = 1; i <= 3; ++i) {
+    b.inception({{c1x1(256)},
+                 {c1x1(384), c1x3(512)},          // split pair merged
+                 {c1x1(384), c1x3(448), c3x1(512)}},
+                256, 1, "inception_c" + std::to_string(i));
+  }
+
+  b.global_avgpool("gap").fc(1000, true, "fc");
+  return std::move(b).build();
+}
+
+}  // namespace omniboost::models

@@ -1,0 +1,100 @@
+/// \file zoo_linear.cpp
+/// Linear-chain networks: AlexNet, the VGG family, MobileNet v1, SqueezeNet.
+/// Every convolution / pool / FC op is its own schedulable layer, matching the
+/// paper's per-layer partition points (e.g. "MobileNet: first 10 layers on
+/// big CPU, the remaining on GPU").
+
+#include <array>
+
+#include "models/net_builder.hpp"
+#include "models/zoo.hpp"
+
+namespace omniboost::models {
+
+namespace {
+constexpr Dims kImageNet224{3, 224, 224};
+}
+
+NetworkDesc make_alexnet() {
+  NetBuilder b("AlexNet", kImageNet224);
+  b.conv(96, 11, 4, 2, "conv1")
+      .maxpool(3, 2, 0, "pool1")
+      .conv(256, 5, 1, 2, "conv2")
+      .maxpool(3, 2, 0, "pool2")
+      .conv(384, 3, 1, 1, "conv3")
+      .conv(384, 3, 1, 1, "conv4")
+      .conv(256, 3, 1, 1, "conv5")
+      .maxpool(3, 2, 0, "pool5")
+      .fc(4096, false, "fc6")
+      .fc(4096, false, "fc7")
+      .fc(1000, true, "fc8");
+  return std::move(b).build();
+}
+
+namespace {
+/// Shared VGG scaffold: conv counts per 64/128/256/512/512 stage.
+NetworkDesc make_vgg(const char* name,
+                     const std::array<std::size_t, 5>& convs_per_stage) {
+  constexpr std::array<std::size_t, 5> kChannels{64, 128, 256, 512, 512};
+  NetBuilder b(name, kImageNet224);
+  for (std::size_t stage = 0; stage < 5; ++stage) {
+    for (std::size_t i = 0; i < convs_per_stage[stage]; ++i) {
+      b.conv(kChannels[stage], 3, 1, 1,
+             "conv" + std::to_string(stage + 1) + "_" + std::to_string(i + 1));
+    }
+    b.maxpool(2, 2, 0, "pool" + std::to_string(stage + 1));
+  }
+  b.fc(4096, false, "fc6").fc(4096, false, "fc7").fc(1000, true, "fc8");
+  return std::move(b).build();
+}
+}  // namespace
+
+NetworkDesc make_vgg13() { return make_vgg("VGG-13", {2, 2, 2, 2, 2}); }
+NetworkDesc make_vgg16() { return make_vgg("VGG-16", {2, 2, 3, 3, 3}); }
+NetworkDesc make_vgg19() { return make_vgg("VGG-19", {2, 2, 4, 4, 4}); }
+
+NetworkDesc make_mobilenet() {
+  // MobileNet v1 (width multiplier 1.0): depthwise and pointwise halves are
+  // separate schedulable layers — 28 weight layers total as counted in the
+  // paper's motivational example.
+  NetBuilder b("MobileNet", kImageNet224);
+  b.conv(32, 3, 2, 1, "conv1");
+  const struct {
+    std::size_t stride, out_ch;
+  } blocks[] = {{1, 64},  {2, 128}, {1, 128}, {2, 256}, {1, 256},
+                {2, 512}, {1, 512}, {1, 512}, {1, 512}, {1, 512},
+                {1, 512}, {2, 1024}, {1, 1024}};
+  std::size_t i = 0;
+  for (const auto& blk : blocks) {
+    ++i;
+    b.depthwise(blk.stride, "dw" + std::to_string(i));
+    b.pointwise(blk.out_ch, "pw" + std::to_string(i));
+  }
+  b.global_avgpool("gap").fc(1000, true, "fc");
+  return std::move(b).build();
+}
+
+NetworkDesc make_squeezenet() {
+  // SqueezeNet 1.0. Squeeze and expand stages are separate schedulable layers
+  // (the paper's example splits SqueezeNet after layer 18 of 19).
+  NetBuilder b("SqueezeNet", kImageNet224);
+  b.conv(96, 7, 2, 0, "conv1").maxpool(3, 2, 0, "pool1");
+  const struct {
+    std::size_t squeeze, expand;
+    const char* name;
+  } fires[] = {{16, 64, "fire2"},  {16, 64, "fire3"},  {32, 128, "fire4"},
+               {32, 128, "fire5"}, {48, 192, "fire6"}, {48, 192, "fire7"},
+               {64, 256, "fire8"}, {64, 256, "fire9"}};
+  std::size_t idx = 0;
+  for (const auto& f : fires) {
+    b.fire_squeeze(f.squeeze, std::string(f.name) + "_squeeze");
+    b.fire_expand(f.expand, f.expand, std::string(f.name) + "_expand");
+    ++idx;
+    if (idx == 3) b.maxpool(3, 2, 0, "pool4");
+    if (idx == 7) b.maxpool(3, 2, 0, "pool8");
+  }
+  b.conv(1000, 1, 1, 0, "conv10").global_avgpool("gap");
+  return std::move(b).build();
+}
+
+}  // namespace omniboost::models

@@ -1,0 +1,73 @@
+/// \file zoo_residual.cpp
+/// ResNet-34/50/101. Each basic/bottleneck block is one schedulable layer:
+/// cutting inside a skip connection would force two concurrent inter-component
+/// transfers, which no practical pipeline does.
+
+#include <array>
+
+#include "models/net_builder.hpp"
+#include "models/zoo.hpp"
+
+namespace omniboost::models {
+
+namespace {
+constexpr Dims kImageNet224{3, 224, 224};
+
+/// Adds conv1 + maxpool stem common to all ResNets.
+void add_stem(NetBuilder& b) {
+  b.conv(64, 7, 2, 3, "conv1").maxpool(3, 2, 1, "pool1");
+}
+
+/// Adds the classifier head.
+void add_head(NetBuilder& b) {
+  b.global_avgpool("gap").fc(1000, true, "fc");
+}
+
+NetworkDesc make_resnet_basic(const char* name,
+                              const std::array<std::size_t, 4>& depths) {
+  constexpr std::array<std::size_t, 4> kChannels{64, 128, 256, 512};
+  NetBuilder b(name, kImageNet224);
+  add_stem(b);
+  for (std::size_t stage = 0; stage < 4; ++stage) {
+    for (std::size_t i = 0; i < depths[stage]; ++i) {
+      const std::size_t stride = (stage > 0 && i == 0) ? 2 : 1;
+      b.residual_basic(kChannels[stage], stride,
+                       "res" + std::to_string(stage + 2) + "_" +
+                           std::to_string(i + 1));
+    }
+  }
+  add_head(b);
+  return std::move(b).build();
+}
+
+NetworkDesc make_resnet_bottleneck(const char* name,
+                                   const std::array<std::size_t, 4>& depths) {
+  constexpr std::array<std::size_t, 4> kMid{64, 128, 256, 512};
+  NetBuilder b(name, kImageNet224);
+  add_stem(b);
+  for (std::size_t stage = 0; stage < 4; ++stage) {
+    for (std::size_t i = 0; i < depths[stage]; ++i) {
+      const std::size_t stride = (stage > 0 && i == 0) ? 2 : 1;
+      b.residual_bottleneck(kMid[stage], kMid[stage] * 4, stride,
+                            "res" + std::to_string(stage + 2) + "_" +
+                                std::to_string(i + 1));
+    }
+  }
+  add_head(b);
+  return std::move(b).build();
+}
+}  // namespace
+
+NetworkDesc make_resnet34() {
+  return make_resnet_basic("ResNet-34", {3, 4, 6, 3});
+}
+
+NetworkDesc make_resnet50() {
+  return make_resnet_bottleneck("ResNet-50", {3, 4, 6, 3});
+}
+
+NetworkDesc make_resnet101() {
+  return make_resnet_bottleneck("ResNet-101", {3, 4, 23, 3});
+}
+
+}  // namespace omniboost::models

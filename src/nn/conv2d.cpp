@@ -1,0 +1,195 @@
+#include <algorithm>
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "util/require.hpp"
+
+namespace omniboost::nn {
+
+namespace {
+
+/// Output-column range [lo, hi) for which ix = ox*stride + kx - pad lies in
+/// [0, w).
+void ox_bounds(std::size_t ow, std::size_t w, std::size_t stride,
+               std::ptrdiff_t off, std::size_t& lo, std::size_t& hi) {
+  // ox*stride + off in [0, w)  =>  ox in [ceil(-off/stride), (w-1-off)/stride]
+  std::ptrdiff_t lo_s = 0;
+  if (off < 0)
+    lo_s = (-off + static_cast<std::ptrdiff_t>(stride) - 1) /
+           static_cast<std::ptrdiff_t>(stride);
+  std::ptrdiff_t hi_s = -1;
+  if (static_cast<std::ptrdiff_t>(w) - 1 - off >= 0)
+    hi_s = (static_cast<std::ptrdiff_t>(w) - 1 - off) /
+           static_cast<std::ptrdiff_t>(stride);
+  lo = static_cast<std::size_t>(std::max<std::ptrdiff_t>(lo_s, 0));
+  hi = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(hi_s + 1, static_cast<std::ptrdiff_t>(ow)));
+  if (hi < lo) hi = lo;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+               std::size_t stride, std::size_t padding, bool bias)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_({out_ch, in_ch, kernel, kernel}),
+      bias_({out_ch}) {
+  OB_REQUIRE(in_ch > 0 && out_ch > 0, "Conv2d: channels must be positive");
+  OB_REQUIRE(kernel > 0 && stride > 0, "Conv2d: kernel/stride must be >= 1");
+}
+
+std::vector<Param*> Conv2d::params() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+void Conv2d::init(util::Rng& rng) {
+  // Kaiming-normal for GELU/ReLU-style activations: std = sqrt(2 / fan_in).
+  const double fan_in =
+      static_cast<double>(in_ch_) * static_cast<double>(kernel_ * kernel_);
+  const double std = std::sqrt(2.0 / fan_in);
+  for (std::size_t i = 0; i < weight_.value.size(); ++i)
+    weight_.value[i] = static_cast<float>(rng.normal(0.0, std));
+  bias_.value.zero();
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  OB_REQUIRE(x.rank() == 4, "Conv2d: input must be NCHW");
+  OB_REQUIRE(x.extent(1) == in_ch_, "Conv2d: channel mismatch");
+  input_ = x;
+
+  const std::size_t n = x.extent(0), h = x.extent(2), w = x.extent(3);
+  OB_REQUIRE(h + 2 * padding_ >= kernel_ && w + 2 * padding_ >= kernel_,
+             "Conv2d: input smaller than kernel");
+  const std::size_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const std::size_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+
+  Tensor y({n, out_ch_, oh, ow});
+  const float* xd = x.data();
+  const float* wd = weight_.value.data();
+  float* yd = y.data();
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      float* yplane = yd + (b * out_ch_ + oc) * oh * ow;
+      if (has_bias_) {
+        const float bias = bias_.value[oc];
+        for (std::size_t i = 0; i < oh * ow; ++i) yplane[i] = bias;
+      }
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        const float* xplane = xd + (b * in_ch_ + ic) * h * w;
+        const float* wplane = wd + (oc * in_ch_ + ic) * kernel_ * kernel_;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            const float wv = wplane[ky * kernel_ + kx];
+            if (wv == 0.0f) continue;
+            const auto off_x = static_cast<std::ptrdiff_t>(kx) -
+                               static_cast<std::ptrdiff_t>(padding_);
+            std::size_t lo, hi;
+            ox_bounds(ow, w, stride_, off_x, lo, hi);
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              const float* xrow =
+                  xplane + static_cast<std::size_t>(iy) * w;
+              float* yrow = yplane + oy * ow;
+              if (stride_ == 1) {
+                const float* xs = xrow + off_x;
+                for (std::size_t ox = lo; ox < hi; ++ox)
+                  yrow[ox] += wv * xs[ox];
+              } else {
+                for (std::size_t ox = lo; ox < hi; ++ox)
+                  yrow[ox] +=
+                      wv * xrow[static_cast<std::size_t>(
+                               static_cast<std::ptrdiff_t>(ox * stride_) +
+                               off_x)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  OB_REQUIRE(!input_.empty(), "Conv2d::backward before forward");
+  const Tensor& x = input_;
+  const std::size_t n = x.extent(0), h = x.extent(2), w = x.extent(3);
+  const std::size_t oh = grad_out.extent(2), ow = grad_out.extent(3);
+  OB_REQUIRE(grad_out.extent(0) == n && grad_out.extent(1) == out_ch_,
+             "Conv2d::backward: grad shape mismatch");
+
+  Tensor gx(x.shape());
+  const float* xd = x.data();
+  const float* wd = weight_.value.data();
+  const float* gd = grad_out.data();
+  float* gxd = gx.data();
+  float* gwd = weight_.grad.data();
+  float* gbd = bias_.grad.data();
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float* gplane = gd + (b * out_ch_ + oc) * oh * ow;
+      if (has_bias_) {
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < oh * ow; ++i) acc += gplane[i];
+        gbd[oc] += acc;
+      }
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        const float* xplane = xd + (b * in_ch_ + ic) * h * w;
+        float* gxplane = gxd + (b * in_ch_ + ic) * h * w;
+        const float* wplane = wd + (oc * in_ch_ + ic) * kernel_ * kernel_;
+        float* gwplane = gwd + (oc * in_ch_ + ic) * kernel_ * kernel_;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            const float wv = wplane[ky * kernel_ + kx];
+            const auto off_x = static_cast<std::ptrdiff_t>(kx) -
+                               static_cast<std::ptrdiff_t>(padding_);
+            std::size_t lo, hi;
+            ox_bounds(ow, w, stride_, off_x, lo, hi);
+            float gw_acc = 0.0f;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              const float* xrow = xplane + static_cast<std::size_t>(iy) * w;
+              float* gxrow = gxplane + static_cast<std::size_t>(iy) * w;
+              const float* grow = gplane + oy * ow;
+              if (stride_ == 1) {
+                const float* xs = xrow + off_x;
+                float* gxs = gxrow + off_x;
+                for (std::size_t ox = lo; ox < hi; ++ox) {
+                  const float g = grow[ox];
+                  gw_acc += g * xs[ox];
+                  gxs[ox] += g * wv;
+                }
+              } else {
+                for (std::size_t ox = lo; ox < hi; ++ox) {
+                  const float g = grow[ox];
+                  const auto ix = static_cast<std::size_t>(
+                      static_cast<std::ptrdiff_t>(ox * stride_) + off_x);
+                  gw_acc += g * xrow[ix];
+                  gxrow[ix] += g * wv;
+                }
+              }
+            }
+            gwplane[ky * kernel_ + kx] += gw_acc;
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace omniboost::nn

@@ -1,0 +1,31 @@
+#pragma once
+/// \file gradcheck.hpp
+/// Numerical gradient verification used by the property-based test suite to
+/// prove every layer's analytic backward pass against central differences.
+
+#include <cstddef>
+
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+
+namespace omniboost::nn {
+
+/// Result of a gradient check: worst relative error observed.
+struct GradCheckResult {
+  double max_input_err = 0.0;  ///< worst rel. error of dLoss/dInput
+  double max_param_err = 0.0;  ///< worst rel. error over all parameters
+};
+
+/// Compares analytic gradients of `loss(module(x), target)` against central
+/// differences.
+///
+/// \param module  layer under test (must be in training mode)
+/// \param x       input probe
+/// \param target  regression target with the module's output shape
+/// \param loss    criterion (MSE recommended: smooth everywhere)
+/// \param eps     finite-difference step
+GradCheckResult check_gradients(Module& module, const Tensor& x,
+                                const Tensor& target, const Loss& loss,
+                                float eps = 1e-2f);
+
+}  // namespace omniboost::nn

@@ -1,0 +1,58 @@
+#include "nn/schedulers.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace omniboost::nn {
+
+ConstantLr::ConstantLr(float lr) : lr_(lr) {
+  OB_REQUIRE(lr > 0.0f, "ConstantLr: learning rate must be positive");
+}
+
+float ConstantLr::lr_at(std::size_t /*epoch*/) const { return lr_; }
+
+StepLr::StepLr(float base_lr, std::size_t step_size, float gamma)
+    : base_lr_(base_lr), gamma_(gamma), step_size_(step_size) {
+  OB_REQUIRE(base_lr > 0.0f, "StepLr: base learning rate must be positive");
+  OB_REQUIRE(step_size >= 1, "StepLr: step size must be >= 1");
+  OB_REQUIRE(gamma > 0.0f && gamma <= 1.0f, "StepLr: gamma must be in (0, 1]");
+}
+
+float StepLr::lr_at(std::size_t epoch) const {
+  const auto decays = static_cast<float>(epoch / step_size_);
+  return base_lr_ * std::pow(gamma_, decays);
+}
+
+CosineLr::CosineLr(float base_lr, std::size_t max_epochs, float min_lr,
+                   std::size_t warmup_epochs)
+    : base_lr_(base_lr),
+      min_lr_(min_lr),
+      max_epochs_(max_epochs),
+      warmup_epochs_(warmup_epochs) {
+  OB_REQUIRE(base_lr > 0.0f, "CosineLr: base learning rate must be positive");
+  OB_REQUIRE(min_lr >= 0.0f && min_lr <= base_lr,
+             "CosineLr: min_lr must be in [0, base_lr]");
+  OB_REQUIRE(max_epochs >= 1, "CosineLr: max_epochs must be >= 1");
+  OB_REQUIRE(warmup_epochs < max_epochs,
+             "CosineLr: warm-up must end before max_epochs");
+}
+
+float CosineLr::lr_at(std::size_t epoch) const {
+  if (epoch < warmup_epochs_) {
+    // Linear ramp 1/(w) .. w/(w): never returns 0 at epoch 0.
+    return base_lr_ * static_cast<float>(epoch + 1) /
+           static_cast<float>(warmup_epochs_);
+  }
+  if (epoch >= max_epochs_) return min_lr_ > 0.0f ? min_lr_ : base_lr_ * 1e-3f;
+  const double progress =
+      static_cast<double>(epoch - warmup_epochs_) /
+      static_cast<double>(max_epochs_ - warmup_epochs_);
+  const double cosine = 0.5 * (1.0 + std::cos(3.14159265358979324 * progress));
+  const double lr = min_lr_ + (base_lr_ - min_lr_) * cosine;
+  // The cosine reaches min_lr exactly at max_epochs; keep strictly positive
+  // for Optimizer::set_lr.
+  return static_cast<float>(std::max(lr, 1e-12));
+}
+
+}  // namespace omniboost::nn

@@ -1,0 +1,110 @@
+#include "nn/trainer.hpp"
+
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace omniboost::nn {
+
+std::pair<Dataset, Dataset> Dataset::split_tail(std::size_t n) const {
+  OB_REQUIRE(n <= size(), "Dataset::split_tail: n exceeds dataset size");
+  OB_REQUIRE(inputs.size() == targets.size(), "Dataset: ragged dataset");
+  Dataset head, tail;
+  const std::size_t cut = size() - n;
+  head.inputs.assign(inputs.begin(), inputs.begin() + cut);
+  head.targets.assign(targets.begin(), targets.begin() + cut);
+  tail.inputs.assign(inputs.begin() + cut, inputs.end());
+  tail.targets.assign(targets.begin() + cut, targets.end());
+  return {std::move(head), std::move(tail)};
+}
+
+Tensor stack(const std::vector<Tensor>& samples,
+             const std::vector<std::size_t>& indices) {
+  OB_REQUIRE(!indices.empty(), "stack: empty index list");
+  const Tensor& first = samples.at(indices.front());
+  tensor::Shape shape;
+  shape.push_back(indices.size());
+  for (std::size_t e : first.shape()) shape.push_back(e);
+
+  Tensor out(shape);
+  const std::size_t stride = first.size();
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const Tensor& s = samples.at(indices[k]);
+    OB_REQUIRE(s.shape() == first.shape(), "stack: heterogeneous shapes");
+    std::copy(s.data(), s.data() + stride, out.data() + k * stride);
+  }
+  return out;
+}
+
+double evaluate(Module& model, const Loss& loss, const Dataset& data,
+                std::size_t batch_size) {
+  if (data.size() == 0) return 0.0;
+  model.set_training(false);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, data.size());
+    std::vector<std::size_t> idx(end - start);
+    std::iota(idx.begin(), idx.end(), start);
+    const Tensor pred = model.forward(stack(data.inputs, idx));
+    const Tensor tgt = stack(data.targets, idx);
+    total += static_cast<double>(loss.compute(pred, tgt).value) *
+             static_cast<double>(idx.size());
+    count += idx.size();
+  }
+  model.set_training(true);
+  return total / static_cast<double>(count);
+}
+
+TrainHistory train_regression(Module& model, const Loss& loss,
+                              const Dataset& train, const Dataset& val,
+                              const TrainConfig& config) {
+  OB_REQUIRE(train.size() > 0, "train_regression: empty training set");
+  OB_REQUIRE(train.inputs.size() == train.targets.size(),
+             "train_regression: ragged training set");
+  OB_REQUIRE(config.batch_size > 0, "train_regression: batch_size must be > 0");
+
+  util::Rng rng(config.seed);
+  Adam optim(model.params(), config.lr, 0.9f, 0.999f, 1e-8f,
+             config.weight_decay);
+  TrainHistory history;
+  model.set_training(true);
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.lr_schedule != nullptr) config.lr_schedule->apply(optim, epoch);
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t seen = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, order.size());
+      // BatchNorm needs >= 2 samples for meaningful batch statistics; fold a
+      // trailing singleton into the previous batch instead of training on it.
+      if (end - start < 2 && start != 0) break;
+      const std::vector<std::size_t> idx(order.begin() + start,
+                                         order.begin() + end);
+      const Tensor x = stack(train.inputs, idx);
+      const Tensor tgt = stack(train.targets, idx);
+
+      optim.zero_grad();
+      const Tensor pred = model.forward(x);
+      const LossResult lr = loss.compute(pred, tgt);
+      model.backward(lr.grad);
+      optim.step();
+
+      epoch_loss += static_cast<double>(lr.value) *
+                    static_cast<double>(idx.size());
+      seen += idx.size();
+    }
+    history.train_loss.push_back(epoch_loss / static_cast<double>(seen));
+    if (val.size() > 0)
+      history.val_loss.push_back(evaluate(model, loss, val));
+  }
+  return history;
+}
+
+}  // namespace omniboost::nn

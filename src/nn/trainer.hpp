@@ -1,0 +1,65 @@
+#pragma once
+/// \file trainer.hpp
+/// Mini-batch regression trainer producing per-epoch train/validation loss
+/// histories (the data behind the paper's Fig. 4).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+#include "nn/schedulers.hpp"
+#include "util/rng.hpp"
+
+namespace omniboost::nn {
+
+/// A supervised regression dataset: per-sample input (CHW) and target (F).
+struct Dataset {
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+
+  std::size_t size() const { return inputs.size(); }
+
+  /// Splits off the last \p n samples as a second dataset.
+  std::pair<Dataset, Dataset> split_tail(std::size_t n) const;
+};
+
+/// Stacks per-sample CHW tensors (or F vectors) into one batched tensor.
+Tensor stack(const std::vector<Tensor>& samples,
+             const std::vector<std::size_t>& indices);
+
+/// Training hyper-parameters.
+struct TrainConfig {
+  std::size_t epochs = 100;   ///< paper: 100 epochs
+  std::size_t batch_size = 16;
+  float lr = 3e-3f;
+  float weight_decay = 1e-4f;
+  std::uint64_t seed = 1;     ///< shuffling seed
+  /// Optional per-epoch learning-rate schedule (overrides \c lr when set;
+  /// not owned, must outlive the training run).
+  const LrScheduler* lr_schedule = nullptr;
+};
+
+/// Per-epoch loss history.
+struct TrainHistory {
+  std::vector<double> train_loss;
+  std::vector<double> val_loss;  ///< empty if no validation set given
+};
+
+/// Runs mini-batch training of \p model with Adam.
+///
+/// \param model  network in training mode (switched internally per phase)
+/// \param loss   criterion (paper: L1)
+/// \param train  training samples
+/// \param val    validation samples (may be empty)
+TrainHistory train_regression(Module& model, const Loss& loss,
+                              const Dataset& train, const Dataset& val,
+                              const TrainConfig& config);
+
+/// Mean loss of \p model over \p data in inference mode.
+double evaluate(Module& model, const Loss& loss, const Dataset& data,
+                std::size_t batch_size = 16);
+
+}  // namespace omniboost::nn

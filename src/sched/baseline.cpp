@@ -1,0 +1,21 @@
+#include "sched/baseline.hpp"
+
+#include <chrono>
+
+namespace omniboost::sched {
+
+AllOnScheduler::AllOnScheduler(const models::ModelZoo& zoo,
+                               device::ComponentId target, std::string name)
+    : zoo_(&zoo), target_(target), name_(std::move(name)) {}
+
+core::ScheduleResult AllOnScheduler::schedule(const workload::Workload& w) {
+  const auto start = std::chrono::steady_clock::now();
+  core::ScheduleResult r;
+  r.mapping = sim::Mapping::all_on(w.layer_counts(*zoo_), target_);
+  r.decision_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return r;
+}
+
+}  // namespace omniboost::sched

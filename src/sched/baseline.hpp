@@ -1,0 +1,32 @@
+#pragma once
+/// \file baseline.hpp
+/// The common scheduling approach (paper's normalization baseline): map the
+/// whole workload onto one computing component — in practice the GPU, the
+/// board's strongest unit.
+
+#include "core/scheduler.hpp"
+#include "models/zoo.hpp"
+
+namespace omniboost::sched {
+
+/// Places every layer of every DNN on a fixed component. Zero decision cost.
+class AllOnScheduler final : public core::IScheduler {
+ public:
+  AllOnScheduler(const models::ModelZoo& zoo, device::ComponentId target,
+                 std::string name);
+
+  /// The paper's baseline: everything on the GPU.
+  static AllOnScheduler gpu_baseline(const models::ModelZoo& zoo) {
+    return AllOnScheduler(zoo, device::ComponentId::kGpu, "Baseline");
+  }
+
+  std::string name() const override { return name_; }
+  core::ScheduleResult schedule(const workload::Workload& w) override;
+
+ private:
+  const models::ModelZoo* zoo_;
+  device::ComponentId target_;
+  std::string name_;
+};
+
+}  // namespace omniboost::sched

@@ -1,0 +1,171 @@
+#include "sched/exhaustive.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace omniboost::sched {
+
+using device::ComponentId;
+using device::kNumComponents;
+
+namespace {
+
+/// C(n, k) in floating point (exact for the small k we use).
+double binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double r = 1.0;
+  for (std::size_t i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i);
+    r /= static_cast<double>(i);
+  }
+  return r;
+}
+
+/// Appends every assignment with exactly the given segment cut points,
+/// recursing over adjacent-distinct component sequences.
+void emit_component_sequences(const std::vector<std::size_t>& cuts,
+                              std::size_t layers, std::size_t seg,
+                              sim::Assignment& scratch,
+                              std::vector<sim::Assignment>& out) {
+  const std::size_t num_segments = cuts.size() + 1;
+  if (seg == num_segments) {
+    out.push_back(scratch);
+    return;
+  }
+  const std::size_t first = seg == 0 ? 0 : cuts[seg - 1];
+  const std::size_t last = seg == cuts.size() ? layers - 1 : cuts[seg] - 1;
+  const ComponentId prev = seg == 0 ? ComponentId::kGpu : scratch[first - 1];
+  for (std::size_t c = 0; c < kNumComponents; ++c) {
+    const auto comp = static_cast<ComponentId>(c);
+    if (seg > 0 && comp == prev) continue;  // equal would merge segments
+    for (std::size_t l = first; l <= last; ++l) scratch[l] = comp;
+    emit_component_sequences(cuts, layers, seg + 1, scratch, out);
+  }
+}
+
+/// Iterates all k-subsets of cut positions {1..layers-1}.
+void emit_cut_choices(std::size_t layers, std::size_t num_cuts,
+                      std::size_t next, std::vector<std::size_t>& cuts,
+                      sim::Assignment& scratch,
+                      std::vector<sim::Assignment>& out) {
+  if (cuts.size() == num_cuts) {
+    emit_component_sequences(cuts, layers, 0, scratch, out);
+    return;
+  }
+  for (std::size_t pos = next; pos <= layers - 1; ++pos) {
+    cuts.push_back(pos);
+    emit_cut_choices(layers, num_cuts, pos + 1, cuts, scratch, out);
+    cuts.pop_back();
+  }
+}
+
+}  // namespace
+
+double count_assignments(std::size_t layers, std::size_t stage_limit) {
+  OB_REQUIRE(layers >= 1, "count_assignments: zero layers");
+  OB_REQUIRE(stage_limit >= 1, "count_assignments: bad stage limit");
+  const auto k = static_cast<double>(kNumComponents);
+  double total = 0.0;
+  const std::size_t max_stages = std::min(stage_limit, layers);
+  for (std::size_t s = 1; s <= max_stages; ++s) {
+    total += binomial(layers - 1, s - 1) * k *
+             std::pow(k - 1.0, static_cast<double>(s - 1));
+  }
+  return total;
+}
+
+double count_mappings(const models::ModelZoo& zoo, const workload::Workload& w,
+                      std::size_t stage_limit) {
+  double total = 1.0;
+  for (const std::size_t layers : w.layer_counts(zoo)) {
+    total *= count_assignments(layers, stage_limit);
+  }
+  return total;
+}
+
+std::vector<sim::Assignment> enumerate_assignments(std::size_t layers,
+                                                   std::size_t stage_limit,
+                                                   std::size_t max_count) {
+  const double count = count_assignments(layers, stage_limit);
+  OB_REQUIRE(count <= static_cast<double>(max_count),
+             "enumerate_assignments: space exceeds max_count");
+  std::vector<sim::Assignment> out;
+  out.reserve(static_cast<std::size_t>(count));
+  sim::Assignment scratch(layers, ComponentId::kGpu);
+  std::vector<std::size_t> cuts;
+  const std::size_t max_stages = std::min(stage_limit, layers);
+  for (std::size_t s = 1; s <= max_stages; ++s) {
+    emit_cut_choices(layers, s - 1, 1, cuts, scratch, out);
+  }
+  return out;
+}
+
+ExhaustiveScheduler::ExhaustiveScheduler(std::string name,
+                                         const models::ModelZoo& zoo,
+                                         WorkloadEvaluatorFactory evaluator,
+                                         ExhaustiveConfig config)
+    : name_(std::move(name)),
+      zoo_(&zoo),
+      factory_(std::move(evaluator)),
+      config_(config) {
+  OB_REQUIRE(factory_ != nullptr, "ExhaustiveScheduler: null factory");
+}
+
+core::ScheduleResult ExhaustiveScheduler::schedule(const workload::Workload& w) {
+  OB_REQUIRE(w.size() > 0, "ExhaustiveScheduler: empty workload");
+  const auto start = std::chrono::steady_clock::now();
+
+  const double space = count_mappings(*zoo_, w, config_.stage_limit);
+  OB_REQUIRE(space <= static_cast<double>(config_.max_mappings),
+             "ExhaustiveScheduler: mapping space exceeds max_mappings");
+
+  const core::MappingEvaluator evaluate = factory_(w);
+  const std::vector<std::size_t> counts = w.layer_counts(*zoo_);
+
+  std::vector<std::vector<sim::Assignment>> per_dnn;
+  per_dnn.reserve(counts.size());
+  for (const std::size_t layers : counts) {
+    per_dnn.push_back(enumerate_assignments(layers, config_.stage_limit,
+                                            config_.max_mappings));
+  }
+
+  core::ScheduleResult result;
+  result.expected_reward = -std::numeric_limits<double>::infinity();
+
+  // Odometer over the Cartesian product of per-DNN assignment lists.
+  std::vector<std::size_t> idx(counts.size(), 0);
+  for (;;) {
+    std::vector<sim::Assignment> pick;
+    pick.reserve(counts.size());
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      pick.push_back(per_dnn[d][idx[d]]);
+    }
+    sim::Mapping m(std::move(pick));
+    const double r = evaluate(m);
+    ++result.evaluations;
+    if (r > result.expected_reward) {
+      result.expected_reward = r;
+      result.mapping = std::move(m);
+    }
+
+    std::size_t d = 0;
+    while (d < idx.size() && ++idx[d] == per_dnn[d].size()) {
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == idx.size()) break;
+  }
+
+  result.decision_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace omniboost::sched

@@ -1,0 +1,65 @@
+#pragma once
+/// \file exhaustive.hpp
+/// Exact enumeration of the stage-limited mapping space. The paper argues
+/// (§II, §IV-C) that exhaustive evaluation is infeasible at realistic sizes —
+/// this module both *quantifies* that claim (closed-form space counts used by
+/// the motivation bench) and, for deliberately tiny workloads, *computes the
+/// true optimum*, which the test suite uses to certify how close MCTS and the
+/// other searches land.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "models/zoo.hpp"
+#include "sched/search_common.hpp"
+
+namespace omniboost::sched {
+
+/// Number of assignments of \p layers layers with at most \p stage_limit
+/// contiguous stages on kNumComponents components:
+///   sum_{s=1..min(x,L)} C(L-1, s-1) * k * (k-1)^(s-1).
+/// Returned as double — realistic layer counts overflow 64-bit integers.
+double count_assignments(std::size_t layers, std::size_t stage_limit);
+
+/// Size of the full mapping space of a workload: the product of its DNNs'
+/// assignment counts.
+double count_mappings(const models::ModelZoo& zoo, const workload::Workload& w,
+                      std::size_t stage_limit);
+
+/// Materializes every stage-limited assignment of one DNN.
+/// Throws when the count exceeds \p max_count (guard against accidental
+/// exponential blow-up).
+std::vector<sim::Assignment> enumerate_assignments(std::size_t layers,
+                                                   std::size_t stage_limit,
+                                                   std::size_t max_count);
+
+/// Exhaustive-search controls.
+struct ExhaustiveConfig {
+  std::size_t stage_limit = 3;
+  /// Hard cap on the number of complete mappings that may be evaluated;
+  /// schedule() throws when the workload's space is larger.
+  std::size_t max_mappings = 2'000'000;
+};
+
+/// The exact optimizer. Only usable on tiny workloads; the ablation tests
+/// use it as ground truth.
+class ExhaustiveScheduler final : public core::IScheduler {
+ public:
+  ExhaustiveScheduler(std::string name, const models::ModelZoo& zoo,
+                      WorkloadEvaluatorFactory evaluator,
+                      ExhaustiveConfig config = {});
+
+  std::string name() const override { return name_; }
+
+  /// Evaluates every mapping in the space and returns the argmax.
+  core::ScheduleResult schedule(const workload::Workload& w) override;
+
+ private:
+  std::string name_;
+  const models::ModelZoo* zoo_;
+  WorkloadEvaluatorFactory factory_;
+  ExhaustiveConfig config_;
+};
+
+}  // namespace omniboost::sched

@@ -1,0 +1,47 @@
+#pragma once
+/// \file greedy.hpp
+/// Greedy layer-to-component assignment, modelled on the trial-and-error
+/// greedy controller the paper cites as related work (Kwon et al., HPCA
+/// 2021): layers are visited in order and each is placed on the component
+/// that minimizes the marginal finish-time estimate, given the load already
+/// committed. The scheduler is deterministic, needs no training, and runs in
+/// microseconds — but it is myopic: it never revisits a placement, so it
+/// inherits exactly the "space exploration inefficiency" the paper calls out
+/// (§III).
+
+#include "core/scheduler.hpp"
+#include "device/cost_model.hpp"
+#include "models/zoo.hpp"
+
+namespace omniboost::sched {
+
+/// Greedy controls.
+struct GreedyConfig {
+  /// Per-DNN pipeline-stage cap (the paper's x = 3). The greedy pass refuses
+  /// placements that would open a stage beyond the cap.
+  std::size_t max_stages = 3;
+  /// Weight of the inter-component transfer time in the marginal cost; 0
+  /// makes the pass communication-oblivious.
+  double comm_weight = 1.0;
+  /// Process DNNs heaviest-first (by total FLOPs). Heaviest-first lets the
+  /// big models grab the strong components before the light ones fill them.
+  bool heaviest_first = true;
+};
+
+/// Deterministic greedy list scheduler over layers.
+class GreedyScheduler final : public core::IScheduler {
+ public:
+  GreedyScheduler(const models::ModelZoo& zoo, const device::DeviceSpec& device,
+                  GreedyConfig config = {});
+
+  std::string name() const override { return "Greedy"; }
+  core::ScheduleResult schedule(const workload::Workload& w) override;
+
+ private:
+  const models::ModelZoo* zoo_;
+  device::DeviceSpec device_;  ///< owned copy; cost_ points into it
+  device::CostModel cost_;
+  GreedyConfig config_;
+};
+
+}  // namespace omniboost::sched

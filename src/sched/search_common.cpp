@@ -1,0 +1,72 @@
+#include "sched/search_common.hpp"
+
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace omniboost::sched {
+
+WorkloadEvaluatorFactory estimator_evaluator_factory(
+    const models::ModelZoo& zoo, const core::EmbeddingTensor& embedding,
+    std::shared_ptr<const core::ThroughputEstimator> estimator) {
+  OB_REQUIRE(estimator != nullptr,
+             "estimator_evaluator_factory: null estimator");
+  OB_REQUIRE(estimator->trained(),
+             "estimator_evaluator_factory: estimator must be trained");
+  return [&zoo, &embedding, estimator = std::move(estimator)](
+             const workload::Workload& w) -> core::MappingEvaluator {
+    (void)zoo;
+    return [&embedding, estimator, w](const sim::Mapping& m) {
+      return estimator->predict_reward(embedding.masked_input(w, m));
+    };
+  };
+}
+
+WorkloadEvaluatorFactory oracle_evaluator_factory(
+    const models::ModelZoo& zoo,
+    std::shared_ptr<const sim::DesSimulator> board) {
+  OB_REQUIRE(board != nullptr, "oracle_evaluator_factory: null simulator");
+  return [&zoo, board = std::move(board)](
+             const workload::Workload& w) -> core::MappingEvaluator {
+    const sim::NetworkList nets = w.resolve(zoo);
+    return [board, nets](const sim::Mapping& m) {
+      return board->simulate(nets, m).avg_throughput;
+    };
+  };
+}
+
+WorkloadEvaluatorFactory analytic_evaluator_factory(
+    const models::ModelZoo& zoo,
+    std::shared_ptr<const sim::AnalyticModel> model) {
+  OB_REQUIRE(model != nullptr, "analytic_evaluator_factory: null model");
+  return [&zoo, model = std::move(model)](
+             const workload::Workload& w) -> core::MappingEvaluator {
+    const sim::NetworkList nets = w.resolve(zoo);
+    return [model, nets](const sim::Mapping& m) {
+      return model->evaluate(nets, m).avg_throughput;
+    };
+  };
+}
+
+WorkloadEvaluatorFactory ensemble_evaluator_factory(
+    const models::ModelZoo& zoo, const core::EmbeddingTensor& embedding,
+    std::vector<std::shared_ptr<const core::ThroughputEstimator>> members) {
+  OB_REQUIRE(!members.empty(), "ensemble_evaluator_factory: empty ensemble");
+  for (const auto& m : members) {
+    OB_REQUIRE(m != nullptr, "ensemble_evaluator_factory: null member");
+    OB_REQUIRE(m->trained(),
+               "ensemble_evaluator_factory: every member must be trained");
+  }
+  return [&zoo, &embedding, members = std::move(members)](
+             const workload::Workload& w) -> core::MappingEvaluator {
+    (void)zoo;
+    return [&embedding, members, w](const sim::Mapping& m) {
+      const tensor::Tensor input = embedding.masked_input(w, m);
+      double sum = 0.0;
+      for (const auto& est : members) sum += est->predict_reward(input);
+      return sum / static_cast<double>(members.size());
+    };
+  };
+}
+
+}  // namespace omniboost::sched

@@ -1,0 +1,56 @@
+#pragma once
+/// \file search_common.hpp
+/// Shared plumbing of the search-based schedulers: per-workload evaluator
+/// factories. A scheduler instance must handle arbitrary workloads, but a
+/// core::MappingEvaluator scores mappings of one fixed workload — the factory
+/// closes over the workload and produces the evaluator on demand.
+///
+/// Three factories cover the evaluation regimes of the paper and DESIGN.md's
+/// ablation A2: the trained CNN estimator (production OmniBoost), the DES
+/// board oracle (an idealized "measure every candidate" scheduler), and the
+/// closed-form analytic model (a fast approximate oracle).
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/embedding.hpp"
+#include "core/estimator.hpp"
+#include "core/mcts.hpp"
+#include "sim/analytic.hpp"
+#include "sim/des.hpp"
+
+namespace omniboost::sched {
+
+/// Builds a mapping evaluator specialized to one workload.
+using WorkloadEvaluatorFactory =
+    std::function<core::MappingEvaluator(const workload::Workload&)>;
+
+/// Production evaluation: masked embedding tensor -> trained estimator
+/// reward (the paper's configuration; ~tens of microseconds per query).
+WorkloadEvaluatorFactory estimator_evaluator_factory(
+    const models::ModelZoo& zoo, const core::EmbeddingTensor& embedding,
+    std::shared_ptr<const core::ThroughputEstimator> estimator);
+
+/// Oracle evaluation: run the discrete-event board simulator and return the
+/// measured average throughput T. In the physical world this would mean
+/// timing every candidate on the board — far too slow for production, but
+/// the gold standard the ablations compare the estimator against.
+WorkloadEvaluatorFactory oracle_evaluator_factory(
+    const models::ModelZoo& zoo, std::shared_ptr<const sim::DesSimulator> board);
+
+/// Approximate oracle: the closed-form steady-state model. Orders of
+/// magnitude faster than the DES with the same qualitative ranking.
+WorkloadEvaluatorFactory analytic_evaluator_factory(
+    const models::ModelZoo& zoo, std::shared_ptr<const sim::AnalyticModel> model);
+
+/// Ensemble evaluation: the mean reward of several independently-trained
+/// estimators (different init seeds over the same campaign). Averaging
+/// decorrelates the members' regression errors, which tempers the winner's
+/// curse a search incurs when it maximizes a single noisy estimate — at K
+/// times the query cost. All estimators must be trained.
+WorkloadEvaluatorFactory ensemble_evaluator_factory(
+    const models::ModelZoo& zoo, const core::EmbeddingTensor& embedding,
+    std::vector<std::shared_ptr<const core::ThroughputEstimator>> members);
+
+}  // namespace omniboost::sched

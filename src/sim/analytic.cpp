@@ -1,0 +1,49 @@
+#include "sim/analytic.hpp"
+
+#include <algorithm>
+
+#include "sim/des.hpp"
+#include "util/require.hpp"
+
+namespace omniboost::sim {
+
+ThroughputReport AnalyticModel::evaluate(const NetworkList& nets,
+                                         const Mapping& mapping) const {
+  OB_REQUIRE(!nets.empty(), "AnalyticModel::evaluate: empty workload");
+  for (const auto* n : nets)
+    OB_REQUIRE(n != nullptr, "AnalyticModel::evaluate: null network");
+
+  const Scene scene = build_scene(nets, mapping, cost_);
+  ThroughputReport report;
+  report.per_dnn_rate.assign(nets.size(), 0.0);
+  report.component_penalty = scene.penalty;
+
+  if (!scene.fits_in_memory) {
+    report.feasible = false;
+    return report;
+  }
+
+  // Load per component: total service time demanded per frame round.
+  std::array<double, device::kNumComponents> load{};
+  for (const SegmentInfo& seg : scene.segments)
+    load[device::component_index(seg.span.comp)] += seg.service_time_s;
+
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    double bottleneck = 0.0;
+    for (std::size_t sid : scene.by_dnn[i]) {
+      const SegmentInfo& seg = scene.segments[sid];
+      // The stream cannot run faster than its most-contended component...
+      bottleneck =
+          std::max(bottleneck, load[device::component_index(seg.span.comp)]);
+      // ...nor faster than its slowest inter-stage transfer.
+      bottleneck = std::max(bottleneck, seg.transfer_out_s);
+    }
+    OB_ENSURE(bottleneck > 0.0, "AnalyticModel: degenerate bottleneck");
+    report.per_dnn_rate[i] = 1.0 / bottleneck;
+  }
+
+  finalize_report(report, scene, nets, cost_.device());
+  return report;
+}
+
+}  // namespace omniboost::sim

@@ -1,0 +1,38 @@
+#pragma once
+/// \file analytic.hpp
+/// Closed-form steady-state approximation of the board. Under saturated
+/// round-robin sharing, every segment resident on component alpha completes
+/// one frame per D_alpha = sum of service times on alpha, so a stream's rate
+/// is bounded by its worst segment's component load and by its slowest
+/// inter-stage transfer. Orders of magnitude faster than the DES; used for
+/// quick estimates and cross-validated against the DES in the test suite.
+
+#include "sim/report.hpp"
+#include "sim/segments.hpp"
+
+namespace omniboost::sim {
+
+/// Analytic steady-state throughput model.
+class AnalyticModel {
+ public:
+  /// Owns a copy of the DeviceSpec, so callers may pass temporaries
+  /// (e.g. make_hikey970() inline). Non-copyable: the internal cost model
+  /// points into the owned spec.
+  explicit AnalyticModel(const device::DeviceSpec& device)
+      : device_(device), cost_(device_) {}
+
+  AnalyticModel(const AnalyticModel&) = delete;
+  AnalyticModel& operator=(const AnalyticModel&) = delete;
+
+  /// Predicts steady-state throughput of a workload under a mapping.
+  ThroughputReport evaluate(const NetworkList& nets,
+                            const Mapping& mapping) const;
+
+  const device::CostModel& cost_model() const { return cost_; }
+
+ private:
+  device::DeviceSpec device_;  ///< owned copy; cost_ points into it
+  device::CostModel cost_;
+};
+
+}  // namespace omniboost::sim

@@ -1,0 +1,79 @@
+#pragma once
+/// \file des.hpp
+/// Discrete-event simulation of a multi-DNN workload running on the modelled
+/// board. This is the reproduction's "measurement": each DNN is a closed-loop
+/// pipeline of segments; components serve segment executions FIFO; transfers
+/// delay frames between stages; steady-state inferences/sec are measured
+/// after warm-up and then clipped by the shared-DRAM bandwidth wall.
+
+#include "sim/report.hpp"
+#include "sim/segments.hpp"
+#include "sim/trace.hpp"
+
+namespace omniboost::sim {
+
+/// Simulation controls.
+struct DesConfig {
+  /// Measurement horizon, as a multiple of the slowest stream's solo
+  /// inference time.
+  double horizon_multiplier = 60.0;
+  /// Fraction of the horizon discarded as warm-up.
+  double warmup_fraction = 0.3;
+  /// Hard event cap (safety against degenerate configurations).
+  std::size_t max_events = 4'000'000;
+};
+
+/// Event-driven board simulator.
+///
+/// Owns a copy of the DeviceSpec, so callers may pass temporaries
+/// (e.g. make_hikey970() inline). Non-copyable: the internal cost model
+/// points into the owned spec.
+class DesSimulator {
+ public:
+  explicit DesSimulator(const device::DeviceSpec& device,
+                        DesConfig config = {});
+
+  DesSimulator(const DesSimulator&) = delete;
+  DesSimulator& operator=(const DesSimulator&) = delete;
+
+  /// Runs one workload under one mapping to steady state.
+  ///
+  /// \param nets     the concurrent DNN streams
+  /// \param mapping  per-layer component assignment (same arity as nets)
+  ThroughputReport simulate(const NetworkList& nets,
+                            const Mapping& mapping) const;
+
+  /// Throughput measurement plus full observability record.
+  struct TracedResult {
+    ThroughputReport report;
+    ExecutionTrace trace;
+  };
+
+  /// Like simulate(), additionally recording per-component utilization,
+  /// queue pressure, and per-stream frame-latency statistics.
+  ///
+  /// \param record_events  also keep every segment execution interval
+  ///                       (memory-heavy; for debugging and Gantt rendering)
+  TracedResult simulate_traced(const NetworkList& nets, const Mapping& mapping,
+                               bool record_events = false) const;
+
+  const device::DeviceSpec& device() const { return cost_.device(); }
+  const device::CostModel& cost_model() const { return cost_; }
+
+ private:
+  /// Shared event loop; \p trace may be null (plain measurement).
+  ThroughputReport run(const NetworkList& nets, const Mapping& mapping,
+                       ExecutionTrace* trace, bool record_events) const;
+
+  device::DeviceSpec device_;  ///< owned copy; cost_ points into it
+  device::CostModel cost_;
+  DesConfig config_;
+};
+
+/// Applies the shared-DRAM wall and fills the derived report fields.
+/// Exposed for reuse by the analytic model.
+void finalize_report(ThroughputReport& report, const Scene& scene,
+                     const NetworkList& nets,
+                     const device::DeviceSpec& device);
+
+}  // namespace omniboost::sim

@@ -1,0 +1,31 @@
+#pragma once
+/// \file gantt.hpp
+/// ASCII Gantt rendering of a recorded execution trace: one lane per
+/// computing component, one character column per time bucket, stream index
+/// as the glyph. Turns "the GPU is saturated and the CPUs idle" into
+/// something a developer can see in a terminal.
+///
+///   GPU    |000011112222000011112222...|
+///   big    |....1111........1111.......|
+///   LITTLE |..........2222.............|
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace omniboost::sim {
+
+/// Rendering controls.
+struct GanttConfig {
+  std::size_t width = 72;      ///< character columns for the time axis
+  bool include_warmup = false; ///< render from t=0 instead of the window start
+};
+
+/// Renders the trace's recorded events (requires simulate_traced(...,
+/// record_events = true); throws if the trace has no events). Streams are
+/// drawn as '0'..'9' then 'a'..'z'; idle time as '.'. When several events
+/// share a bucket the one covering most of it wins.
+std::string render_gantt(const ExecutionTrace& trace,
+                         const GanttConfig& config = {});
+
+}  // namespace omniboost::sim

@@ -1,0 +1,72 @@
+#include "sim/mapping.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace omniboost::sim {
+
+std::vector<SegmentSpan> extract_segments(const Assignment& a) {
+  std::vector<SegmentSpan> segs;
+  if (a.empty()) return segs;
+  SegmentSpan cur{0, 0, a[0]};
+  for (std::size_t l = 1; l < a.size(); ++l) {
+    if (a[l] == cur.comp) {
+      cur.last = l;
+    } else {
+      segs.push_back(cur);
+      cur = SegmentSpan{l, l, a[l]};
+    }
+  }
+  segs.push_back(cur);
+  return segs;
+}
+
+std::size_t num_stages(const Assignment& a) {
+  if (a.empty()) return 0;
+  std::size_t n = 1;
+  for (std::size_t l = 1; l < a.size(); ++l)
+    if (a[l] != a[l - 1]) ++n;
+  return n;
+}
+
+Mapping::Mapping(std::vector<Assignment> per_dnn)
+    : per_dnn_(std::move(per_dnn)) {
+  OB_REQUIRE(!per_dnn_.empty(), "Mapping: empty workload");
+  for (const auto& a : per_dnn_)
+    OB_REQUIRE(!a.empty(), "Mapping: DNN with no layers");
+}
+
+Mapping Mapping::all_on(const std::vector<std::size_t>& layer_counts,
+                        ComponentId comp) {
+  std::vector<Assignment> per_dnn;
+  per_dnn.reserve(layer_counts.size());
+  for (std::size_t n : layer_counts) {
+    OB_REQUIRE(n > 0, "Mapping::all_on: DNN with no layers");
+    per_dnn.emplace_back(n, comp);
+  }
+  return Mapping(std::move(per_dnn));
+}
+
+const Assignment& Mapping::assignment(std::size_t dnn) const {
+  OB_REQUIRE(dnn < per_dnn_.size(), "Mapping::assignment: index out of range");
+  return per_dnn_[dnn];
+}
+
+std::size_t Mapping::stages(std::size_t dnn) const {
+  return num_stages(assignment(dnn));
+}
+
+std::size_t Mapping::max_stages() const {
+  std::size_t m = 0;
+  for (const auto& a : per_dnn_) m = std::max(m, num_stages(a));
+  return m;
+}
+
+bool Mapping::within_stage_limit(std::size_t limit) const {
+  for (const auto& a : per_dnn_)
+    if (num_stages(a) > limit) return false;
+  return true;
+}
+
+}  // namespace omniboost::sim

@@ -1,0 +1,62 @@
+#pragma once
+/// \file mapping.hpp
+/// The schedulable decision object: which computing component runs every
+/// layer of every DNN in a multi-DNN workload. Contiguous runs of layers on
+/// one component form *pipeline stages* (the paper limits these to
+/// x = kNumComponents per DNN; exceeding that marks a losing MCTS state).
+
+#include <cstddef>
+#include <vector>
+
+#include "device/device.hpp"
+#include "models/layer_desc.hpp"
+
+namespace omniboost::sim {
+
+using device::ComponentId;
+
+/// Per-layer component choice for one DNN.
+using Assignment = std::vector<ComponentId>;
+
+/// One contiguous run of layers on a single component.
+struct SegmentSpan {
+  std::size_t first = 0;  ///< first layer index (inclusive)
+  std::size_t last = 0;   ///< last layer index (inclusive)
+  ComponentId comp = ComponentId::kGpu;
+};
+
+/// Splits an assignment into its contiguous segments.
+std::vector<SegmentSpan> extract_segments(const Assignment& a);
+
+/// Number of pipeline stages (contiguous runs) of an assignment.
+std::size_t num_stages(const Assignment& a);
+
+/// A complete mapping for a workload of several DNNs.
+class Mapping {
+ public:
+  Mapping() = default;
+  explicit Mapping(std::vector<Assignment> per_dnn);
+
+  /// Mapping that places every layer of every DNN on one component
+  /// (the paper's baseline uses ComponentId::kGpu).
+  static Mapping all_on(const std::vector<std::size_t>& layer_counts,
+                        ComponentId comp);
+
+  std::size_t num_dnns() const { return per_dnn_.size(); }
+  const Assignment& assignment(std::size_t dnn) const;
+  const std::vector<Assignment>& assignments() const { return per_dnn_; }
+
+  /// Stage count of one DNN.
+  std::size_t stages(std::size_t dnn) const;
+  /// Largest stage count over all DNNs.
+  std::size_t max_stages() const;
+  /// True iff every DNN has at most \p limit stages (paper: limit = 3).
+  bool within_stage_limit(std::size_t limit) const;
+
+  bool operator==(const Mapping&) const = default;
+
+ private:
+  std::vector<Assignment> per_dnn_;
+};
+
+}  // namespace omniboost::sim

@@ -1,0 +1,52 @@
+#pragma once
+/// \file report.hpp
+/// Simulation output: the measurements the paper reports (per-DNN
+/// inferences/sec, the workload average T, and the per-component throughput
+/// flow that trains the estimator).
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace omniboost::sim {
+
+/// Steady-state throughput measurement of one simulated workload execution.
+struct ThroughputReport {
+  /// Free-running inferences per second of each DNN stream (each stream
+  /// processing frames back to back, limited only by its pipeline and the
+  /// shared resources).
+  std::vector<double> per_dnn_rate;
+
+  /// Average throughput of each computing component (the estimator's three
+  /// training targets, paper Fig. 3): the FLOP-weighted inference flow
+  /// through the component under the synchronized window. Flows sum to
+  /// M * T, so each output regresses the workload throughput.
+  std::array<double, device::kNumComponents> per_component_rate{};
+
+  /// The paper's T = (sum_i INF/sec_i) / M, measured the way a board
+  /// evaluation measures a mix: every DNN completes the same number of
+  /// frames inside one window, so each stream's INF/sec equals N / window
+  /// and T collapses to the slowest stream's free-running rate. This is the
+  /// quantity every scheduler in the paper is compared on, and it is what
+  /// makes "evenly distributed" mappings win.
+  double avg_throughput = 0.0;
+
+  /// Mean of the free-running per-stream rates (diagnostic; this is what T
+  /// would be if each stream were measured in isolation windows).
+  double free_running_avg = 0.0;
+
+  /// False when the workload exceeds board memory ("unresponsive"): all
+  /// rates are zero in that case.
+  bool feasible = true;
+
+  /// Shared-DRAM pressure diagnostics.
+  double dram_demand_gbps = 0.0;
+  double dram_scale = 1.0;  ///< 1.0 when below the wall
+
+  /// Per-component working-set contention multipliers that were in effect.
+  std::array<double, device::kNumComponents> component_penalty{1.0, 1.0, 1.0};
+};
+
+}  // namespace omniboost::sim

@@ -1,0 +1,89 @@
+#include "sim/segments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace omniboost::sim {
+
+Scene build_scene(const NetworkList& nets, const Mapping& mapping,
+                  const device::CostModel& cost) {
+  OB_REQUIRE(nets.size() == mapping.num_dnns(),
+             "build_scene: workload/mapping size mismatch");
+  Scene scene;
+  scene.by_dnn.resize(nets.size());
+
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const models::NetworkDesc& net = *nets[i];
+    const Assignment& a = mapping.assignment(i);
+    OB_REQUIRE(a.size() == net.num_layers(),
+               "build_scene: assignment length mismatch for " + net.name);
+
+    const auto spans = extract_segments(a);
+    for (std::size_t s = 0; s < spans.size(); ++s) {
+      SegmentInfo seg;
+      seg.dnn = i;
+      seg.stage = s;
+      seg.span = spans[s];
+      seg.base_time_s =
+          cost.segment_time(net, spans[s].first, spans[s].last, spans[s].comp);
+      if (s == 0)
+        seg.base_time_s += cost.device().per_inference_overhead_s;
+      seg.working_set_bytes =
+          cost.segment_working_set_bytes(net, spans[s].first, spans[s].last);
+      seg.traffic_bytes =
+          cost.segment_traffic_bytes(net, spans[s].first, spans[s].last);
+      for (std::size_t l = spans[s].first; l <= spans[s].last; ++l)
+        seg.flops += net.layers[l].flops();
+      if (s + 1 < spans.size()) {
+        seg.transfer_out_bytes = net.layers[spans[s].last].output_bytes();
+        seg.transfer_out_s = cost.transfer_time(
+            seg.transfer_out_bytes, spans[s].comp, spans[s + 1].comp);
+      }
+      scene.by_dnn[i].push_back(scene.segments.size());
+      scene.segments.push_back(seg);
+    }
+  }
+
+  // Per-component working sets and contention penalties.
+  for (const SegmentInfo& seg : scene.segments) {
+    scene.working_set[device::component_index(seg.span.comp)] +=
+        seg.working_set_bytes;
+    scene.total_memory_bytes += seg.working_set_bytes;
+  }
+  const device::DeviceSpec& dev = cost.device();
+  for (std::size_t c = 0; c < device::kNumComponents; ++c) {
+    const device::ComponentSpec& comp = dev.components[c];
+    const double ratio =
+        comp.working_set_budget_bytes > 0.0
+            ? scene.working_set[c] / comp.working_set_budget_bytes
+            : 0.0;
+    scene.penalty[c] =
+        ratio > 1.0 ? std::pow(ratio, comp.contention_exponent) : 1.0;
+  }
+  for (SegmentInfo& seg : scene.segments)
+    seg.service_time_s =
+        seg.base_time_s * scene.penalty[device::component_index(seg.span.comp)];
+
+  scene.total_memory_bytes +=
+      dev.per_stream_overhead_bytes * static_cast<double>(nets.size());
+  scene.fits_in_memory = scene.total_memory_bytes <= dev.memory_budget_bytes;
+  return scene;
+}
+
+double stream_traffic_bytes(const Scene& scene, std::size_t dnn) {
+  OB_REQUIRE(dnn < scene.by_dnn.size(),
+             "stream_traffic_bytes: stream out of range");
+  double bytes = 0.0;
+  for (std::size_t sid : scene.by_dnn[dnn]) {
+    const SegmentInfo& seg = scene.segments[sid];
+    bytes += seg.traffic_bytes;
+    // A pipeline cut moves the activation out of one component and into the
+    // next: both sides hit shared DRAM.
+    bytes += 2.0 * seg.transfer_out_bytes;
+  }
+  return bytes;
+}
+
+}  // namespace omniboost::sim

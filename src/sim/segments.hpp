@@ -1,0 +1,55 @@
+#pragma once
+/// \file segments.hpp
+/// Shared preprocessing of a (workload, mapping) pair into timed pipeline
+/// segments — common ground for the discrete-event simulator and the
+/// analytic steady-state model.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "device/cost_model.hpp"
+#include "sim/mapping.hpp"
+
+namespace omniboost::sim {
+
+/// A workload as seen by the simulators: one network description per stream.
+using NetworkList = std::vector<const models::NetworkDesc*>;
+
+/// A fully-timed pipeline segment.
+struct SegmentInfo {
+  std::size_t dnn = 0;        ///< stream index in the workload
+  std::size_t stage = 0;      ///< position in the stream's pipeline
+  SegmentSpan span;           ///< layer range + component
+  double base_time_s = 0.0;   ///< uncontended execution time per frame
+  double service_time_s = 0.0;///< base_time x component contention penalty
+  double transfer_out_s = 0.0;///< time to ship the output to the next stage
+  double transfer_out_bytes = 0.0;  ///< activation bytes crossing the cut
+  double working_set_bytes = 0.0;
+  double traffic_bytes = 0.0; ///< DRAM traffic per frame
+  double flops = 0.0;
+};
+
+/// The preprocessed scene handed to a simulator.
+struct Scene {
+  std::vector<SegmentInfo> segments;           ///< all streams, stage order
+  std::vector<std::vector<std::size_t>> by_dnn;///< segment ids per stream
+  std::array<double, device::kNumComponents> working_set{};  ///< bytes per comp
+  std::array<double, device::kNumComponents> penalty{};      ///< contention
+  double total_memory_bytes = 0.0;             ///< whole-board residency
+  bool fits_in_memory = true;
+};
+
+/// Builds the scene: extracts segments, times them with the cost model,
+/// computes per-component working sets and contention penalties, and checks
+/// the board memory budget.
+///
+/// Preconditions: nets.size() == mapping.num_dnns(), every assignment length
+/// matches its network's layer count.
+Scene build_scene(const NetworkList& nets, const Mapping& mapping,
+                  const device::CostModel& cost);
+
+/// Per-inference DRAM traffic of stream \p dnn (segments + transfers).
+double stream_traffic_bytes(const Scene& scene, std::size_t dnn);
+
+}  // namespace omniboost::sim

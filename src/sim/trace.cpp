@@ -1,0 +1,37 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace omniboost::sim {
+
+namespace {
+
+/// Nearest-rank percentile of a sorted sample vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::max(1.0, std::ceil(q * n)));
+  rank = std::min(rank, sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+LatencyStats LatencyStats::from_samples(std::vector<double> values) {
+  LatencyStats s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.samples = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  s.p50 = percentile(values, 0.50);
+  s.p90 = percentile(values, 0.90);
+  s.p99 = percentile(values, 0.99);
+  return s;
+}
+
+}  // namespace omniboost::sim

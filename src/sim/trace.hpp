@@ -1,0 +1,65 @@
+#pragma once
+/// \file trace.hpp
+/// Execution observability for the board simulator: per-component busy time
+/// and utilization, queueing pressure, and per-stream frame-latency
+/// distributions. This is the evidence layer behind the paper's narrative —
+/// "the baseline saturates the GPU; OmniBoost evenly distributes the
+/// workload" becomes a measurable utilization profile instead of prose.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace omniboost::sim {
+
+/// Activity of one computing component over the measurement window.
+struct ComponentUtilization {
+  double busy_seconds = 0.0;    ///< time spent executing segments
+  double window_seconds = 0.0;  ///< measurement window length
+  std::size_t executions = 0;   ///< segment executions completed in window
+  std::size_t max_queue_depth = 0;  ///< worst backlog of pending frames
+
+  /// Busy fraction in [0, 1].
+  double utilization() const {
+    return window_seconds > 0.0 ? busy_seconds / window_seconds : 0.0;
+  }
+};
+
+/// Order statistics of a latency sample set (seconds).
+struct LatencyStats {
+  std::size_t samples = 0;
+  double min = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  /// Nearest-rank percentiles over \p values (consumed; empty -> all zeros).
+  static LatencyStats from_samples(std::vector<double> values);
+};
+
+/// One recorded segment execution (kept only when event recording is on).
+struct TraceEvent {
+  double start = 0.0;
+  double end = 0.0;
+  std::size_t dnn = 0;
+  std::size_t stage = 0;
+  device::ComponentId comp = device::ComponentId::kGpu;
+};
+
+/// Full observability record of one simulation run.
+struct ExecutionTrace {
+  std::array<ComponentUtilization, device::kNumComponents> components{};
+  /// End-to-end frame latency per stream (injection at stage 0 through
+  /// completion of the final stage), frames finishing inside the window.
+  std::vector<LatencyStats> per_dnn_latency;
+  /// Raw execution intervals; populated only when requested (can be large).
+  std::vector<TraceEvent> events;
+  double warmup_seconds = 0.0;
+  double horizon_seconds = 0.0;
+};
+
+}  // namespace omniboost::sim

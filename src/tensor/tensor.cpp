@@ -1,0 +1,175 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+
+#include "util/require.hpp"
+
+namespace omniboost::tensor {
+
+std::size_t shape_size(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t e : shape) n *= e;
+  return n;
+}
+
+namespace {
+std::vector<std::size_t> make_strides(const Shape& shape) {
+  std::vector<std::size_t> strides(shape.size(), 1);
+  for (std::size_t i = shape.size(); i-- > 1;)
+    strides[i - 1] = strides[i] * shape[i];
+  return strides;
+}
+}  // namespace
+
+Tensor::Tensor(Shape shape) : Tensor(std::move(shape), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      strides_(make_strides(shape_)),
+      data_(shape_size(shape_), value) {
+  for (std::size_t e : shape_)
+    OB_REQUIRE(e > 0, "tensor extents must be positive");
+}
+
+Tensor Tensor::from_vector(const std::vector<float>& values) {
+  OB_REQUIRE(!values.empty(), "from_vector: empty input");
+  return from_data({values.size()}, values);
+}
+
+Tensor Tensor::from_data(Shape shape, std::vector<float> values) {
+  OB_REQUIRE(shape_size(shape) == values.size(),
+             "from_data: shape/data size mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.strides_ = make_strides(t.shape_);
+  t.data_ = std::move(values);
+  return t;
+}
+
+std::size_t Tensor::extent(std::size_t dim) const {
+  OB_REQUIRE(dim < shape_.size(), "extent: dimension out of range");
+  return shape_[dim];
+}
+
+float& Tensor::operator[](std::size_t i) {
+  OB_REQUIRE(i < data_.size(), "flat index out of range");
+  return data_[i];
+}
+
+float Tensor::operator[](std::size_t i) const {
+  OB_REQUIRE(i < data_.size(), "flat index out of range");
+  return data_[i];
+}
+
+std::size_t Tensor::offset(std::initializer_list<std::size_t> idx) const {
+  OB_REQUIRE(idx.size() == shape_.size(), "index rank mismatch");
+  std::size_t off = 0;
+  std::size_t d = 0;
+  for (std::size_t i : idx) {
+    OB_REQUIRE(i < shape_[d], "index out of range");
+    off += i * strides_[d];
+    ++d;
+  }
+  return off;
+}
+
+float& Tensor::at(std::initializer_list<std::size_t> idx) {
+  return data_[offset(idx)];
+}
+
+float Tensor::at(std::initializer_list<std::size_t> idx) const {
+  return data_[offset(idx)];
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::apply(const std::function<float(float)>& f) {
+  for (float& x : data_) x = f(x);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  OB_REQUIRE(shape_size(new_shape) == data_.size(),
+             "reshaped: element count mismatch");
+  return from_data(std::move(new_shape), data_);
+}
+
+void Tensor::check_same_shape(const Tensor& rhs, const char* op) const {
+  OB_REQUIRE(shape_ == rhs.shape_, std::string(op) + ": shape mismatch");
+}
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  check_same_shape(rhs, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  check_same_shape(rhs, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& rhs) {
+  check_same_shape(rhs, "operator*=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (float& x : data_) x *= s;
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float s) {
+  for (float& x : data_) x += s;
+  return *this;
+}
+
+float Tensor::sum() const {
+  double s = 0.0;  // double accumulator for numeric stability
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0f;
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  OB_REQUIRE(!data_.empty(), "min: empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  OB_REQUIRE(!data_.empty(), "max: empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  OB_REQUIRE(!data_.empty(), "argmax: empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::l2_norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape) {
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  return os << ']';
+}
+
+}  // namespace omniboost::tensor

@@ -1,0 +1,115 @@
+#pragma once
+/// \file tensor.hpp
+/// Dense row-major float tensor — the numeric substrate for the throughput
+/// estimator (src/nn) and the distributed-embeddings machinery (src/core).
+///
+/// Design notes:
+///  * float storage: matches the embedded-inference setting and halves memory
+///    traffic versus double; the estimator is tiny so precision is ample.
+///  * value semantics: Tensor owns its buffer; cheap moves, explicit copies.
+///  * no expression templates: the networks involved are ~20k parameters, so
+///    clarity wins over fused-kernel cleverness (Per.2: don't optimize blindly).
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace omniboost::tensor {
+
+/// Shape of a tensor: extent per dimension, outermost first.
+using Shape = std::vector<std::size_t>;
+
+/// Dense row-major float tensor of arbitrary rank.
+class Tensor {
+ public:
+  /// Empty rank-0 tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape. Extents must be > 0.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with \p value.
+  Tensor(Shape shape, float value);
+
+  /// Builds a rank-1 tensor from values.
+  static Tensor from_vector(const std::vector<float>& values);
+
+  /// Tensor of the given shape with contents copied from \p values
+  /// (row-major). Sizes must match.
+  static Tensor from_data(Shape shape, std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Extent of dimension \p dim (bounds-checked).
+  std::size_t extent(std::size_t dim) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Flat element access (bounds-checked).
+  float& operator[](std::size_t i);
+  float operator[](std::size_t i) const;
+
+  /// Multi-dimensional access (bounds-checked); index count must equal rank.
+  float& at(std::initializer_list<std::size_t> idx);
+  float at(std::initializer_list<std::size_t> idx) const;
+
+  /// Row-major flat offset of a multi-index (bounds-checked).
+  std::size_t offset(std::initializer_list<std::size_t> idx) const;
+
+  // --- mutation -------------------------------------------------------------
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Applies \p f element-wise in place.
+  void apply(const std::function<float(float)>& f);
+
+  /// Returns a tensor with identical data and a new shape of equal size.
+  Tensor reshaped(Shape new_shape) const;
+
+  // --- arithmetic (shapes must match exactly) --------------------------------
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(const Tensor& rhs);  ///< element-wise (Hadamard)
+  Tensor& operator*=(float s);
+  Tensor& operator+=(float s);
+
+  friend Tensor operator+(Tensor lhs, const Tensor& rhs) { return lhs += rhs; }
+  friend Tensor operator-(Tensor lhs, const Tensor& rhs) { return lhs -= rhs; }
+  friend Tensor operator*(Tensor lhs, const Tensor& rhs) { return lhs *= rhs; }
+  friend Tensor operator*(Tensor lhs, float s) { return lhs *= s; }
+  friend Tensor operator*(float s, Tensor rhs) { return rhs *= s; }
+
+  // --- reductions -------------------------------------------------------------
+  float sum() const;
+  float mean() const;  ///< 0 for empty tensors
+  float min() const;   ///< requires non-empty
+  float max() const;   ///< requires non-empty
+  /// Index of the maximum element (first on ties); requires non-empty.
+  std::size_t argmax() const;
+  /// Sqrt of sum of squares.
+  float l2_norm() const;
+
+  /// True iff shapes and all elements are exactly equal.
+  bool operator==(const Tensor& rhs) const = default;
+
+ private:
+  void check_same_shape(const Tensor& rhs, const char* op) const;
+
+  Shape shape_;
+  std::vector<std::size_t> strides_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape (1 for rank-0).
+std::size_t shape_size(const Shape& shape);
+
+/// Pretty-prints shape as e.g. "[3, 11, 36]".
+std::ostream& operator<<(std::ostream& os, const Shape& shape);
+
+}  // namespace omniboost::tensor

@@ -1,0 +1,63 @@
+#pragma once
+/// \file args.hpp
+/// Declarative command-line parsing for the tools and examples:
+/// `--name value` options with typed accessors, boolean `--flag`s, and
+/// generated --help text. Throws std::invalid_argument on user errors so a
+/// tool's main() turns them into exit code 2 with a usage message.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace omniboost::util {
+
+/// One registered option's metadata.
+struct ArgSpec {
+  std::string name;         ///< long name without the leading dashes
+  std::string help;
+  std::string default_str;  ///< shown in --help ("" = required/none)
+  bool is_flag = false;
+};
+
+class ArgParser {
+ public:
+  /// \param program  argv[0]-style name for usage text
+  /// \param summary  one-line description shown by --help
+  ArgParser(std::string program, std::string summary);
+
+  /// Registers a valued option (--name <value>).
+  ArgParser& option(const std::string& name, const std::string& help,
+                    const std::string& default_value = "");
+
+  /// Registers a boolean flag (--name).
+  ArgParser& flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help text already
+  /// printed to stdout); throws std::invalid_argument on unknown or
+  /// malformed arguments.
+  bool parse(int argc, const char* const* argv);
+
+  /// Accessors. get() falls back to the declared default; missing required
+  /// values throw.
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Generated help text.
+  std::string help_text() const;
+
+ private:
+  /// Declared spec lookup (logic_error when the tool forgot to declare it).
+  const ArgSpec& spec(const std::string& name) const;
+  /// User-facing lookup (invalid_argument for unknown --options).
+  const ArgSpec& spec_or_throw(const std::string& name) const;
+
+  std::string program_, summary_;
+  std::vector<ArgSpec> specs_;
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+}  // namespace omniboost::util

@@ -1,0 +1,59 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON value tree + serializer for tool output (omniboost_cli
+/// --json and bench exports). Writing only — this library never consumes
+/// JSON, so no parser is shipped.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace omniboost::util {
+
+/// An immutable-ish JSON value: null, bool, number, string, array or object.
+/// Build with the static makers and the array/object mutators, then dump().
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json number(std::size_t v) { return number(static_cast<double>(v)); }
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+
+  /// Appends to an array (throws unless this is an array).
+  Json& push_back(Json v);
+
+  /// Sets a key in an object (throws unless this is an object). Keys keep
+  /// insertion order in the output.
+  Json& set(const std::string& key, Json v);
+
+  std::size_t size() const;  ///< elements (array) or keys (object)
+
+  /// Serializes; \p indent > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+  /// Escapes a string for embedding in JSON output (exposed for tests).
+  static std::string escape(const std::string& s);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace omniboost::util

@@ -1,0 +1,37 @@
+#pragma once
+/// \file require.hpp
+/// Precondition checking helpers (exception-based, active in all build types).
+///
+/// The Core-Guidelines `Expects`-style contract macro: API-boundary
+/// preconditions throw std::invalid_argument / std::logic_error so misuse is
+/// diagnosed identically in Release and Debug builds.
+
+#include <stdexcept>
+#include <string>
+
+namespace omniboost::util {
+
+[[noreturn]] inline void fail_require(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace omniboost::util
+
+/// Checks an API precondition; throws std::invalid_argument on violation.
+#define OB_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::omniboost::util::fail_require(#cond, __FILE__, __LINE__, (msg));   \
+  } while (false)
+
+/// Checks an internal invariant; throws std::logic_error on violation.
+#define OB_ENSURE(cond, msg)                                                  \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      throw std::logic_error(std::string("invariant failed: ") + #cond +     \
+                             " at " + __FILE__ + ":" + std::to_string(__LINE__) + \
+                             " — " + (msg));                                  \
+  } while (false)

@@ -1,0 +1,128 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic random number generation for the whole framework.
+///
+/// Every stochastic component of OmniBoost (mix generation, MCTS rollouts,
+/// the genetic algorithm, estimator weight init, data shuffling) consumes an
+/// explicit Rng so that experiments are exactly reproducible from a seed.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace omniboost::util {
+
+/// xoshiro256** PRNG seeded via splitmix64.
+///
+/// Chosen over std::mt19937 because its state is tiny, it is trivially
+/// copyable (useful for forking deterministic sub-streams), and its output is
+/// stable across standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from \p seed using splitmix64 expansion.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) s = split_mix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Raw 64-bit draw (xoshiro256** next()).
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::below: n must be > 0");
+    // Lemire-style unbiased bounded draw with rejection.
+    const std::uint64_t threshold = (-n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::range: lo > hi");
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal draw (Box–Muller, one value per call).
+  double normal() {
+    // Re-draw to avoid log(0).
+    double u1 = 0.0;
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958648 * u2);
+  }
+
+  /// Normal draw with given mean / stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli draw with probability \p p of true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Picks a uniformly random element index-wise. Requires non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    if (v.empty()) throw std::invalid_argument("Rng::pick: empty vector");
+    return v[below(v.size())];
+  }
+
+  /// Forks an independent deterministic sub-stream (e.g. one per worker).
+  Rng fork() { return Rng((*this)() ^ 0xa0761d6478bd642fULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  static std::uint64_t split_mix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace omniboost::util

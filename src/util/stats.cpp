@@ -1,0 +1,94 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace omniboost::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ += delta * static_cast<double>(other.n_) / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) {
+    if (x <= 0.0) throw std::invalid_argument("geomean: non-positive element");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p outside [0,100]");
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+Affine1D fit_standardizer(const std::vector<double>& v) {
+  constexpr double kMinScale = 1e-12;
+  return Affine1D{mean(v), std::max(stddev(v), kMinScale)};
+}
+
+Affine1D fit_minmax(const std::vector<double>& v) {
+  if (v.empty()) return {};
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  constexpr double kMinScale = 1e-12;
+  return Affine1D{*lo, std::max(*hi - *lo, kMinScale)};
+}
+
+}  // namespace omniboost::util

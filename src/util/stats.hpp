@@ -1,0 +1,76 @@
+#pragma once
+/// \file stats.hpp
+/// Small statistics helpers used by dataset preprocessing, benches and tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace omniboost::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used for the estimator's target-standardization preprocessing layer and by
+/// benches to summarize throughput distributions.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford update).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector; 0 for empty input.
+double mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for fewer than 2 elements.
+double stddev(const std::vector<double>& v);
+
+/// Geometric mean; requires all elements > 0.
+double geomean(const std::vector<double>& v);
+
+/// p-th percentile (p in [0,100]) via linear interpolation on a sorted copy.
+double percentile(std::vector<double> v, double p);
+
+/// Normalization parameters: y' = (y - shift) / scale.
+///
+/// The paper applies two preprocessing steps to estimator targets:
+/// standardization (z-score) followed by min-max scaling to [0, 1]. Both are
+/// affine, so their composition is stored as a single Affine1D that can be
+/// inverted exactly at inference time.
+struct Affine1D {
+  double shift = 0.0;
+  double scale = 1.0;
+
+  double apply(double y) const { return (y - shift) / scale; }
+  double invert(double t) const { return t * scale + shift; }
+
+  /// Composes: first this, then \p outer.
+  Affine1D then(const Affine1D& outer) const {
+    // outer.apply(apply(y)) = (y - (shift + outer.shift*scale)) /
+    //                         (scale * outer.scale)
+    return Affine1D{shift + outer.shift * scale, scale * outer.scale};
+  }
+};
+
+/// Fits a z-score standardizer over \p v (scale floored to avoid div-by-0).
+Affine1D fit_standardizer(const std::vector<double>& v);
+
+/// Fits a min-max normalizer mapping [min,max] -> [0,1].
+Affine1D fit_minmax(const std::vector<double>& v);
+
+}  // namespace omniboost::util

@@ -1,0 +1,47 @@
+#pragma once
+/// \file table.hpp
+/// Plain-text table and CSV emission used by the bench harness so every
+/// figure/table of the paper is regenerated as a copy-pasteable block.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omniboost::util {
+
+/// Column-aligned text table with an optional CSV dump.
+///
+/// Usage:
+/// \code
+///   Table t({"mix", "Baseline", "MOSAIC", "GA", "OmniBoost"});
+///   t.add_row({"mix-1", "1.00", "1.31", "1.35", "1.54"});
+///   t.print(std::cout);
+/// \endcode
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Writes an aligned, boxed text table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing comma/quote get quoted).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with \p precision fractional digits.
+std::string fmt(double v, int precision = 3);
+
+}  // namespace omniboost::util

@@ -1,0 +1,81 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace omniboost::workload {
+
+using device::ComponentId;
+using device::kNumComponents;
+
+Workload random_mix(util::Rng& rng, std::size_t n) {
+  OB_REQUIRE(n >= 1 && n <= models::kNumModels,
+             "random_mix: size must be within the dataset");
+  std::vector<models::ModelId> pool(models::kAllModels.begin(),
+                                    models::kAllModels.end());
+  rng.shuffle(pool);
+  pool.resize(n);
+  return Workload{std::move(pool)};
+}
+
+sim::Assignment random_assignment(util::Rng& rng, std::size_t layers,
+                                  std::size_t max_stages) {
+  OB_REQUIRE(layers > 0, "random_assignment: no layers");
+  OB_REQUIRE(max_stages >= 1, "random_assignment: max_stages must be >= 1");
+  const std::size_t stages = static_cast<std::size_t>(
+      rng.range(1, static_cast<std::int64_t>(
+                       std::min(max_stages, layers))));
+
+  // Distinct interior cut points.
+  std::vector<std::size_t> cuts;  // first layer index of each stage > 0
+  if (stages > 1) {
+    std::vector<std::size_t> candidates(layers - 1);
+    std::iota(candidates.begin(), candidates.end(), 1);
+    rng.shuffle(candidates);
+    cuts.assign(candidates.begin(),
+                candidates.begin() + static_cast<std::ptrdiff_t>(stages - 1));
+    std::sort(cuts.begin(), cuts.end());
+  }
+  cuts.push_back(layers);  // sentinel
+
+  sim::Assignment a(layers, ComponentId::kGpu);
+  std::size_t begin = 0;
+  ComponentId prev = ComponentId::kGpu;
+  bool has_prev = false;
+  for (std::size_t s = 0; s < stages; ++s) {
+    ComponentId comp;
+    do {
+      comp = static_cast<ComponentId>(rng.below(kNumComponents));
+    } while (has_prev && comp == prev);
+    for (std::size_t l = begin; l < cuts[s]; ++l) a[l] = comp;
+    begin = cuts[s];
+    prev = comp;
+    has_prev = true;
+  }
+  return a;
+}
+
+sim::Mapping random_mapping(util::Rng& rng, const models::ModelZoo& zoo,
+                            const Workload& w, std::size_t max_stages) {
+  std::vector<sim::Assignment> per_dnn;
+  per_dnn.reserve(w.size());
+  for (std::size_t count : w.layer_counts(zoo))
+    per_dnn.push_back(random_assignment(rng, count, max_stages));
+  return sim::Mapping(std::move(per_dnn));
+}
+
+sim::Assignment random_two_way_split(util::Rng& rng, std::size_t layers,
+                                     sim::ComponentId first,
+                                     sim::ComponentId second) {
+  OB_REQUIRE(layers > 0, "random_two_way_split: no layers");
+  // Cut in [0, layers]: 0 = everything on `second`, layers = all on `first`.
+  const auto cut = static_cast<std::size_t>(
+      rng.range(0, static_cast<std::int64_t>(layers)));
+  sim::Assignment a(layers, second);
+  for (std::size_t l = 0; l < cut; ++l) a[l] = first;
+  return a;
+}
+
+}  // namespace omniboost::workload

@@ -1,0 +1,35 @@
+#pragma once
+/// \file generator.hpp
+/// Random generation of mixes and layer-to-component mappings — the
+/// stochastic machinery behind the estimator's training set (500 random
+/// workloads, §V), the motivational Fig. 1 sweep, and MCTS rollouts.
+
+#include "sim/mapping.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace omniboost::workload {
+
+/// Draws a mix of \p n distinct dataset models, uniformly at random.
+/// Distinctness mirrors the embedding-tensor representation, which reserves
+/// one column per dataset model.
+Workload random_mix(util::Rng& rng, std::size_t n);
+
+/// Random assignment of \p layers layers with at most \p max_stages
+/// contiguous stages: draws a stage count, random distinct cut points, and a
+/// component per segment such that neighbouring segments differ.
+sim::Assignment random_assignment(util::Rng& rng, std::size_t layers,
+                                  std::size_t max_stages);
+
+/// Random stage-limited mapping for a whole workload.
+sim::Mapping random_mapping(util::Rng& rng, const models::ModelZoo& zoo,
+                            const Workload& w, std::size_t max_stages);
+
+/// Two-way split used by the paper's motivational example: a random cut
+/// point, with the prefix on \p first and the suffix on \p second (or the
+/// whole network on one component when the cut lands at either end).
+sim::Assignment random_two_way_split(util::Rng& rng, std::size_t layers,
+                                     sim::ComponentId first,
+                                     sim::ComponentId second);
+
+}  // namespace omniboost::workload

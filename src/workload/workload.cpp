@@ -1,0 +1,32 @@
+#include "workload/workload.hpp"
+
+#include "util/require.hpp"
+
+namespace omniboost::workload {
+
+sim::NetworkList Workload::resolve(const models::ModelZoo& zoo) const {
+  OB_REQUIRE(!mix.empty(), "Workload::resolve: empty mix");
+  sim::NetworkList nets;
+  nets.reserve(mix.size());
+  for (models::ModelId id : mix) nets.push_back(&zoo.network(id));
+  return nets;
+}
+
+std::vector<std::size_t> Workload::layer_counts(
+    const models::ModelZoo& zoo) const {
+  std::vector<std::size_t> counts;
+  counts.reserve(mix.size());
+  for (models::ModelId id : mix) counts.push_back(zoo.network(id).num_layers());
+  return counts;
+}
+
+std::string Workload::describe() const {
+  std::string s;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    if (i) s += "+";
+    s += std::string(models::model_name(mix[i]));
+  }
+  return s;
+}
+
+}  // namespace omniboost::workload

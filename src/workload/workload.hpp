@@ -1,0 +1,30 @@
+#pragma once
+/// \file workload.hpp
+/// A multi-DNN workload: the set of concurrently-executing models the
+/// scheduler must place (the paper's "mixes" of 1-5 DNNs).
+
+#include <string>
+#include <vector>
+
+#include "models/zoo.hpp"
+#include "sim/segments.hpp"
+
+namespace omniboost::workload {
+
+/// An ordered mix of dataset models executing concurrently.
+struct Workload {
+  std::vector<models::ModelId> mix;
+
+  std::size_t size() const { return mix.size(); }
+
+  /// Network descriptions, borrowed from the zoo.
+  sim::NetworkList resolve(const models::ModelZoo& zoo) const;
+
+  /// Layer counts per DNN (for Mapping construction).
+  std::vector<std::size_t> layer_counts(const models::ModelZoo& zoo) const;
+
+  /// Human-readable mix description, e.g. "VGG-19+AlexNet+MobileNet".
+  std::string describe() const;
+};
+
+}  // namespace omniboost::workload

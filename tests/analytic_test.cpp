@@ -1,0 +1,118 @@
+// The analytic steady-state model, cross-validated against the DES.
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hpp"
+#include "sim/analytic.hpp"
+#include "sim/des.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace omniboost::sim;
+using omniboost::device::ComponentId;
+using omniboost::models::ModelId;
+using omniboost::models::ModelZoo;
+using omniboost::workload::Workload;
+
+const ModelZoo& zoo() {
+  static const ModelZoo z;
+  return z;
+}
+
+class AnalyticTest : public ::testing::Test {
+ protected:
+  omniboost::device::DeviceSpec device_ = omniboost::device::make_hikey970();
+  AnalyticModel model_{device_};
+  DesSimulator des_{device_};
+};
+
+TEST_F(AnalyticTest, MatchesDesOnSingleStream) {
+  const Workload w{{ModelId::kResNet50}};
+  const auto nets = w.resolve(zoo());
+  const auto m = Mapping::all_on(w.layer_counts(zoo()), ComponentId::kGpu);
+  const double a = model_.evaluate(nets, m).avg_throughput;
+  const double d = des_.simulate(nets, m).avg_throughput;
+  EXPECT_NEAR(a / d, 1.0, 0.15);
+}
+
+TEST_F(AnalyticTest, SharesFeasibilityLogicWithDes) {
+  const Workload w{{ModelId::kVgg19, ModelId::kVgg16, ModelId::kVgg13,
+                    ModelId::kResNet101, ModelId::kInceptionV4,
+                    ModelId::kInceptionV3}};
+  const auto m = Mapping::all_on(w.layer_counts(zoo()), ComponentId::kGpu);
+  EXPECT_FALSE(model_.evaluate(w.resolve(zoo()), m).feasible);
+}
+
+// Property: over random mappings the analytic model tracks the DES closely
+// (it is the same scene preprocessing; only queueing is approximated).
+class AnalyticAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalyticAgreement, WithinFactorOfDes) {
+  omniboost::util::Rng rng(GetParam());
+  omniboost::device::DeviceSpec device = omniboost::device::make_hikey970();
+  AnalyticModel model(device);
+  DesSimulator des(device);
+  const std::size_t mix = 2 + rng.below(3);
+  const Workload w = omniboost::workload::random_mix(rng, mix);
+  const auto nets = w.resolve(zoo());
+  const Mapping m =
+      omniboost::workload::random_mapping(rng, zoo(), w, 3);
+  const auto ra = model.evaluate(nets, m);
+  const auto rd = des.simulate(nets, m);
+  ASSERT_EQ(ra.feasible, rd.feasible);
+  if (!ra.feasible) return;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    EXPECT_GT(ra.per_dnn_rate[i], 0.0);
+    const double ratio = ra.per_dnn_rate[i] / rd.per_dnn_rate[i];
+    // Queueing effects can separate them, but never by an order of magnitude.
+    EXPECT_GT(ratio, 0.3) << "stream " << i;
+    EXPECT_LT(ratio, 3.0) << "stream " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyticAgreement,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST_F(AnalyticTest, RankingAgreesWithDesOnContrastedMappings) {
+  // GPU-only vs distributed on a heavy mix: both models must prefer the
+  // distributed mapping.
+  const Workload w{{ModelId::kVgg19, ModelId::kResNet101,
+                    ModelId::kInceptionV4, ModelId::kVgg16}};
+  const auto nets = w.resolve(zoo());
+  const auto counts = w.layer_counts(zoo());
+  const auto gpu_only = Mapping::all_on(counts, ComponentId::kGpu);
+  std::vector<Assignment> spread;
+  spread.emplace_back(counts[0], ComponentId::kGpu);
+  spread.emplace_back(counts[1], ComponentId::kBigCpu);
+  spread.emplace_back(counts[2], ComponentId::kGpu);
+  spread.emplace_back(counts[3], ComponentId::kBigCpu);
+  const Mapping distributed(std::move(spread));
+
+  EXPECT_GT(model_.evaluate(nets, distributed).avg_throughput,
+            model_.evaluate(nets, gpu_only).avg_throughput);
+  EXPECT_GT(des_.simulate(nets, distributed).avg_throughput,
+            des_.simulate(nets, gpu_only).avg_throughput);
+}
+
+TEST_F(AnalyticTest, TransferBoundStreams) {
+  // A mapping that ping-pongs between components is bounded by transfers;
+  // the analytic model must reflect that cost.
+  const Workload w{{ModelId::kVgg16}};
+  const auto nets = w.resolve(zoo());
+  const std::size_t n = nets[0]->num_layers();
+  Assignment ping(n, ComponentId::kGpu);
+  for (std::size_t l = n / 3; l < 2 * n / 3; ++l)
+    ping[l] = ComponentId::kBigCpu;
+  const double split = model_.evaluate(nets, Mapping({ping})).avg_throughput;
+  const double solo =
+      model_
+          .evaluate(nets, Mapping::all_on({n}, ComponentId::kGpu))
+          .avg_throughput;
+  EXPECT_GT(split, 0.0);
+  // VGG16's early activations are large: a 3-stage split costs transfers.
+  EXPECT_LT(split, solo * 3.0);
+}
+
+}  // namespace

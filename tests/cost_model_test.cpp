@@ -1,0 +1,153 @@
+// The kernel-level roofline cost model (paper Eq. 1).
+
+#include <gtest/gtest.h>
+
+#include "device/cost_model.hpp"
+#include "models/zoo.hpp"
+
+namespace {
+
+using namespace omniboost::device;
+using omniboost::models::KernelDesc;
+using omniboost::models::KernelKind;
+using omniboost::models::ModelId;
+using omniboost::models::ModelZoo;
+
+const ModelZoo& zoo() {
+  static const ModelZoo z;
+  return z;
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  DeviceSpec device_ = make_hikey970();
+  CostModel cost_{device_};
+};
+
+TEST_F(CostModelTest, ComputeBoundKernelScalesWithFlops) {
+  const KernelDesc small{KernelKind::kGemm, 1e9, 1e3};
+  const KernelDesc large{KernelKind::kGemm, 2e9, 1e3};
+  const double t1 = cost_.kernel_time(small, ComponentId::kGpu);
+  const double t2 = cost_.kernel_time(large, ComponentId::kGpu);
+  const double overhead = device_.component(ComponentId::kGpu).kernel_overhead_s;
+  EXPECT_NEAR((t2 - overhead) / (t1 - overhead), 2.0, 1e-6);
+}
+
+TEST_F(CostModelTest, MemoryBoundKernelScalesWithBytes) {
+  const KernelDesc k{KernelKind::kIm2col, 0.0, 1e8};
+  const double t = cost_.kernel_time(k, ComponentId::kBigCpu);
+  const ComponentSpec& c = device_.component(ComponentId::kBigCpu);
+  EXPECT_NEAR(t, 1e8 / (c.mem_bw_gbps * 1e9) + c.kernel_overhead_s, 1e-9);
+}
+
+TEST_F(CostModelTest, RooflineTakesTheMax) {
+  // Heavily memory-bound GEMM: memory time dominates compute time.
+  const KernelDesc k{KernelKind::kGemm, 1e6, 1e9};
+  const ComponentSpec& c = device_.component(ComponentId::kGpu);
+  const double t = cost_.kernel_time(k, ComponentId::kGpu);
+  EXPECT_NEAR(t, 1e9 / (c.mem_bw_gbps * 1e9) + c.kernel_overhead_s, 1e-9);
+}
+
+TEST_F(CostModelTest, LayerTimeIsSumOfKernelTimes) {
+  // Eq. 1: B_l_alpha = sum_k b_k_alpha.
+  const auto& layer = zoo().network(ModelId::kVgg19).layers[2];
+  double sum = 0.0;
+  for (const auto& k : layer.kernels)
+    sum += cost_.kernel_time(k, ComponentId::kGpu);
+  EXPECT_DOUBLE_EQ(cost_.layer_time(layer, ComponentId::kGpu), sum);
+}
+
+TEST_F(CostModelTest, SegmentTimeIsAdditive) {
+  const auto& net = zoo().network(ModelId::kAlexNet);
+  const double whole = cost_.segment_time(net, 0, 10, ComponentId::kBigCpu);
+  const double a = cost_.segment_time(net, 0, 4, ComponentId::kBigCpu);
+  const double b = cost_.segment_time(net, 5, 10, ComponentId::kBigCpu);
+  EXPECT_NEAR(whole, a + b, whole * 1e-12);
+}
+
+TEST_F(CostModelTest, GpuFasterThanLittleOnConvNets) {
+  for (ModelId id : {ModelId::kVgg19, ModelId::kResNet50,
+                     ModelId::kInceptionV3}) {
+    const auto& net = zoo().network(id);
+    const double gpu =
+        cost_.segment_time(net, 0, net.num_layers() - 1, ComponentId::kGpu);
+    const double little = cost_.segment_time(net, 0, net.num_layers() - 1,
+                                             ComponentId::kLittleCpu);
+    EXPECT_LT(gpu, little) << net.name;
+  }
+}
+
+TEST_F(CostModelTest, DepthwiseLayersPreferBigCpuOverGpu) {
+  // A single depthwise layer should run at least comparably on the big CPU —
+  // the motivation for hybrid mappings of MobileNet.
+  const auto& net = zoo().network(ModelId::kMobileNet);
+  double gpu = 0.0, big = 0.0;
+  for (const auto& l : net.layers) {
+    if (l.kind != omniboost::models::LayerKind::kDepthwiseConv) continue;
+    gpu += cost_.layer_time(l, ComponentId::kGpu);
+    big += cost_.layer_time(l, ComponentId::kBigCpu);
+  }
+  EXPECT_LT(big, gpu);
+}
+
+TEST_F(CostModelTest, TransferZeroWithinComponent) {
+  EXPECT_EQ(cost_.transfer_time(1e6, ComponentId::kGpu, ComponentId::kGpu),
+            0.0);
+}
+
+TEST_F(CostModelTest, TransferHasLatencyPlusBandwidthTerm) {
+  const double t01 =
+      cost_.transfer_time(3e6, ComponentId::kGpu, ComponentId::kBigCpu);
+  EXPECT_NEAR(t01,
+              device_.link.latency_s + 3e6 / (device_.link.bandwidth_gbps * 1e9),
+              1e-12);
+  // Symmetric link.
+  EXPECT_DOUBLE_EQ(
+      t01, cost_.transfer_time(3e6, ComponentId::kBigCpu, ComponentId::kGpu));
+}
+
+TEST_F(CostModelTest, WorkingSetGrowsWithRange) {
+  const auto& net = zoo().network(ModelId::kVgg16);
+  const double small = cost_.segment_working_set_bytes(net, 0, 3);
+  const double large = cost_.segment_working_set_bytes(net, 0, 15);
+  EXPECT_GT(large, small);
+}
+
+TEST_F(CostModelTest, WorkingSetIncludesWeights) {
+  const auto& net = zoo().network(ModelId::kVgg19);
+  const double ws =
+      cost_.segment_working_set_bytes(net, 0, net.num_layers() - 1);
+  EXPECT_GT(ws, net.total_weight_bytes());
+}
+
+TEST_F(CostModelTest, TrafficIsSumOfLayerTraffic) {
+  const auto& net = zoo().network(ModelId::kSqueezeNet);
+  double expected = 0.0;
+  for (const auto& l : net.layers) expected += l.traffic_bytes();
+  EXPECT_NEAR(cost_.segment_traffic_bytes(net, 0, net.num_layers() - 1),
+              expected, expected * 1e-12);
+}
+
+TEST_F(CostModelTest, BadRangesThrow) {
+  const auto& net = zoo().network(ModelId::kAlexNet);
+  EXPECT_THROW(cost_.segment_time(net, 5, 4, ComponentId::kGpu),
+               std::invalid_argument);
+  EXPECT_THROW(cost_.segment_time(net, 0, 99, ComponentId::kGpu),
+               std::invalid_argument);
+  EXPECT_THROW(cost_.segment_working_set_bytes(net, 3, 2),
+               std::invalid_argument);
+}
+
+TEST_F(CostModelTest, WholeNetworkTimesAreEmbeddedScale) {
+  // Solo GPU inference of the dataset nets should land in the plausible
+  // embedded range (tens of ms to ~1 s) — a calibration guard.
+  for (ModelId id : omniboost::models::kAllModels) {
+    const auto& net = zoo().network(id);
+    const double t =
+        cost_.segment_time(net, 0, net.num_layers() - 1, ComponentId::kGpu);
+    EXPECT_GT(t, 5e-3) << net.name;
+    EXPECT_LT(t, 1.5) << net.name;
+  }
+}
+
+}  // namespace

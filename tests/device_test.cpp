@@ -1,0 +1,92 @@
+// The HiKey970 device model: component identities and calibration sanity.
+
+#include <gtest/gtest.h>
+
+#include "device/device.hpp"
+
+namespace {
+
+using namespace omniboost::device;
+
+TEST(Device, ComponentNames) {
+  EXPECT_EQ(component_name(ComponentId::kGpu), "GPU");
+  EXPECT_EQ(component_name(ComponentId::kBigCpu), "big");
+  EXPECT_EQ(component_name(ComponentId::kLittleCpu), "LITTLE");
+  EXPECT_THROW(component_name(static_cast<ComponentId>(9)),
+               std::invalid_argument);
+}
+
+TEST(Device, ThreeComponents) {
+  EXPECT_EQ(kNumComponents, 3u);
+  EXPECT_EQ(component_index(ComponentId::kGpu), 0u);
+  EXPECT_EQ(component_index(ComponentId::kLittleCpu), 2u);
+}
+
+TEST(Hikey970, PerformanceOrdering) {
+  const DeviceSpec d = make_hikey970();
+  const auto effective = [&](ComponentId c) {
+    const ComponentSpec& s = d.component(c);
+    return s.peak_gflops * s.efficiency.gemm;
+  };
+  // GPU > big CPU > LITTLE CPU on GEMM-heavy work.
+  EXPECT_GT(effective(ComponentId::kGpu), effective(ComponentId::kBigCpu));
+  EXPECT_GT(effective(ComponentId::kBigCpu),
+            effective(ComponentId::kLittleCpu));
+}
+
+TEST(Hikey970, DepthwiseIsRelativelyCpuFriendly) {
+  // The depthwise/GEMM efficiency ratio must be better on the CPUs than on
+  // the GPU — the well-documented Mali depthwise weakness.
+  const DeviceSpec d = make_hikey970();
+  const auto ratio = [&](ComponentId c) {
+    const ComponentSpec& s = d.component(c);
+    return s.efficiency.depthwise / s.efficiency.gemm;
+  };
+  EXPECT_LT(ratio(ComponentId::kGpu), ratio(ComponentId::kBigCpu));
+  EXPECT_LT(ratio(ComponentId::kGpu), ratio(ComponentId::kLittleCpu));
+}
+
+TEST(Hikey970, GpuHasHighestDispatchOverhead) {
+  const DeviceSpec d = make_hikey970();
+  EXPECT_GT(d.component(ComponentId::kGpu).kernel_overhead_s,
+            d.component(ComponentId::kBigCpu).kernel_overhead_s);
+  EXPECT_GT(d.component(ComponentId::kGpu).kernel_overhead_s,
+            d.component(ComponentId::kLittleCpu).kernel_overhead_s);
+}
+
+TEST(Hikey970, SharedResourcesConfigured) {
+  const DeviceSpec d = make_hikey970();
+  EXPECT_GT(d.dram_bw_gbps, 0.0);
+  EXPECT_GT(d.memory_budget_bytes, 1e9);
+  EXPECT_GT(d.per_stream_overhead_bytes, 0.0);
+  EXPECT_GT(d.per_inference_overhead_s, 0.0);
+  EXPECT_GT(d.link.bandwidth_gbps, 0.0);
+  EXPECT_GT(d.link.latency_s, 0.0);
+}
+
+TEST(Hikey970, ContentionParametersPositive) {
+  const DeviceSpec d = make_hikey970();
+  for (ComponentId c : kAllComponents) {
+    EXPECT_GT(d.component(c).working_set_budget_bytes, 0.0);
+    EXPECT_GE(d.component(c).contention_exponent, 0.5);
+  }
+}
+
+TEST(KernelEfficiency, EveryKindMapsToAFraction) {
+  const DeviceSpec d = make_hikey970();
+  using omniboost::models::KernelKind;
+  for (ComponentId c : kAllComponents) {
+    for (auto kind :
+         {KernelKind::kIm2col, KernelKind::kGemm, KernelKind::kDirectConv,
+          KernelKind::kDepthwiseConv, KernelKind::kBias,
+          KernelKind::kActivation, KernelKind::kPool, KernelKind::kNorm,
+          KernelKind::kEltwiseAdd, KernelKind::kConcat,
+          KernelKind::kSoftmax}) {
+      const double e = d.component(c).kind_efficiency(kind);
+      EXPECT_GT(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// The distributed embeddings tensor and its mask rendering (paper §IV-A,
+// Fig. 3).
+
+#include <gtest/gtest.h>
+
+#include "core/embedding.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace omniboost;
+using core::EmbeddingTensor;
+using models::ModelId;
+using models::ModelZoo;
+using sim::Assignment;
+using sim::ComponentId;
+using sim::Mapping;
+using workload::Workload;
+
+const ModelZoo& zoo() {
+  static const ModelZoo z;
+  return z;
+}
+
+class EmbeddingTest : public ::testing::Test {
+ protected:
+  device::DeviceSpec device_ = device::make_hikey970();
+  device::CostModel cost_{device_};
+  EmbeddingTensor emb_{zoo(), cost_};
+};
+
+TEST_F(EmbeddingTest, ShapeIsComponentsByModelsByLayers) {
+  EXPECT_EQ(emb_.tensor().shape(),
+            (tensor::Shape{device::kNumComponents, models::kNumModels,
+                           zoo().max_layers()}));
+  EXPECT_EQ(emb_.models_dim(), models::kNumModels);
+  EXPECT_EQ(emb_.layers_dim(), zoo().max_layers());
+}
+
+TEST_F(EmbeddingTest, ValuesNormalizedToUnitInterval) {
+  const auto& u = emb_.tensor();
+  EXPECT_FLOAT_EQ(u.max(), 1.0f);
+  EXPECT_GE(u.min(), 0.0f);
+}
+
+TEST_F(EmbeddingTest, ZeroPaddingBeyondModelLayers) {
+  // AlexNet has far fewer layers than the L dimension; the tail is zero.
+  const std::size_t m = models::model_index(ModelId::kAlexNet);
+  const std::size_t n = zoo().network(ModelId::kAlexNet).num_layers();
+  for (std::size_t c = 0; c < device::kNumComponents; ++c)
+    for (std::size_t l = n; l < emb_.layers_dim(); ++l)
+      EXPECT_EQ(emb_.tensor().at({c, m, l}), 0.0f);
+}
+
+TEST_F(EmbeddingTest, RealLayersHavePositiveCells) {
+  for (ModelId id : models::kAllModels) {
+    const std::size_t m = models::model_index(id);
+    const std::size_t n = zoo().network(id).num_layers();
+    for (std::size_t c = 0; c < device::kNumComponents; ++c)
+      for (std::size_t l = 0; l < n; ++l)
+        EXPECT_GT(emb_.tensor().at({c, m, l}), 0.0f)
+            << model_name(id) << " layer " << l;
+  }
+}
+
+TEST_F(EmbeddingTest, SlowComponentsHaveLargerCells) {
+  // For compute-heavy layers, LITTLE should cost more than GPU.
+  const std::size_t m = models::model_index(ModelId::kVgg19);
+  const std::size_t gpu = device::component_index(ComponentId::kGpu);
+  const std::size_t little =
+      device::component_index(ComponentId::kLittleCpu);
+  // VGG conv layers (skip pools which are memory-bound everywhere).
+  EXPECT_GT(emb_.tensor().at({little, m, 2}), emb_.tensor().at({gpu, m, 2}));
+}
+
+TEST_F(EmbeddingTest, MaskedInputSelectsExactlyAssignedCells) {
+  const Workload w{{ModelId::kAlexNet}};
+  const std::size_t n = zoo().network(ModelId::kAlexNet).num_layers();
+  Assignment a(n, ComponentId::kGpu);
+  a[0] = ComponentId::kBigCpu;  // first layer on big, rest on GPU
+  const tensor::Tensor input = emb_.masked_input(w, Mapping({a}));
+
+  const std::size_t m = models::model_index(ModelId::kAlexNet);
+  const std::size_t gpu = device::component_index(ComponentId::kGpu);
+  const std::size_t big = device::component_index(ComponentId::kBigCpu);
+  EXPECT_EQ(input.at({gpu, m, 0}), 0.0f);
+  EXPECT_EQ(input.at({big, m, 0}), emb_.tensor().at({big, m, 0}));
+  EXPECT_EQ(input.at({gpu, m, 1}), emb_.tensor().at({gpu, m, 1}));
+  EXPECT_EQ(input.at({big, m, 1}), 0.0f);
+}
+
+TEST_F(EmbeddingTest, MaskedInputNonZeroCountEqualsTotalLayers) {
+  util::Rng rng(9);
+  const Workload w = workload::random_mix(rng, 3);
+  const Mapping m = workload::random_mapping(rng, zoo(), w, 3);
+  const tensor::Tensor input = emb_.masked_input(w, m);
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < input.size(); ++i) nonzero += input[i] != 0.0f;
+  std::size_t total_layers = 0;
+  for (std::size_t c : w.layer_counts(zoo())) total_layers += c;
+  EXPECT_EQ(nonzero, total_layers);
+}
+
+TEST_F(EmbeddingTest, ModelsOutsideMixStayZero) {
+  const Workload w{{ModelId::kAlexNet}};
+  const Mapping m = Mapping::all_on(w.layer_counts(zoo()), ComponentId::kGpu);
+  const tensor::Tensor input = emb_.masked_input(w, m);
+  const std::size_t vgg = models::model_index(ModelId::kVgg19);
+  for (std::size_t c = 0; c < device::kNumComponents; ++c)
+    for (std::size_t l = 0; l < emb_.layers_dim(); ++l)
+      EXPECT_EQ(input.at({c, vgg, l}), 0.0f);
+}
+
+TEST_F(EmbeddingTest, DuplicateModelInMixRejected) {
+  const Workload w{{ModelId::kAlexNet, ModelId::kAlexNet}};
+  const Mapping m = Mapping::all_on(w.layer_counts(zoo()), ComponentId::kGpu);
+  EXPECT_THROW(emb_.masked_input(w, m), std::invalid_argument);
+}
+
+TEST_F(EmbeddingTest, ArityMismatchRejected) {
+  const Workload w{{ModelId::kAlexNet, ModelId::kVgg19}};
+  const Mapping one = Mapping::all_on(
+      {zoo().network(ModelId::kAlexNet).num_layers()}, ComponentId::kGpu);
+  EXPECT_THROW(emb_.masked_input(w, one), std::invalid_argument);
+}
+
+TEST_F(EmbeddingTest, MaxLayerTimeIsLittleCpuWorstCase) {
+  // The normalization constant corresponds to a real measured maximum.
+  EXPECT_GT(emb_.max_layer_time_s(), 0.0);
+  EXPECT_LT(emb_.max_layer_time_s(), 10.0);
+}
+
+}  // namespace

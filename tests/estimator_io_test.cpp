@@ -1,0 +1,143 @@
+// ThroughputEstimator persistence: the design-time/run-time split. A trained
+// estimator saved to disk and reloaded must reproduce predictions bit-exactly
+// (weights, architecture config, and fitted target preprocessing all travel).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/estimator.hpp"
+#include "nn/loss.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace omniboost;
+using core::EstimatorConfig;
+using core::SampleSet;
+using core::ThroughputEstimator;
+using tensor::Tensor;
+
+constexpr std::size_t kM = 11;
+constexpr std::size_t kL = 37;
+
+/// Small synthetic training set (same construction as estimator_test).
+SampleSet make_synthetic(std::size_t n, util::Rng& rng) {
+  SampleSet set;
+  for (std::size_t s = 0; s < n; ++s) {
+    Tensor x({3, kM, kL});
+    std::array<double, 3> mass{};
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t i = 0; i < kM * kL; ++i) {
+        const bool active = rng.chance(0.15);
+        const float v = active ? static_cast<float>(rng.uniform(0.1, 1)) : 0.0f;
+        x[c * kM * kL + i] = v;
+        mass[c] += v;
+      }
+    }
+    set.inputs.push_back(std::move(x));
+    set.targets.push_back({30.0 / (1.0 + mass[0]), 20.0 / (1.0 + mass[1]),
+                           8.0 / (1.0 + mass[2])});
+  }
+  return set;
+}
+
+ThroughputEstimator make_trained(std::uint64_t seed = 21) {
+  util::Rng rng(seed);
+  const SampleSet data = make_synthetic(64, rng);
+  ThroughputEstimator est(kM, kL);
+  nn::L1Loss l1;
+  nn::TrainConfig tc;
+  tc.epochs = 5;
+  est.fit(data, 8, l1, tc);
+  return est;
+}
+
+TEST(EstimatorIO, UntrainedSaveIsRejected) {
+  ThroughputEstimator est(kM, kL);
+  std::stringstream buf;
+  EXPECT_THROW(est.save(buf), std::invalid_argument);
+}
+
+TEST(EstimatorIO, StreamRoundTripIsBitExact) {
+  ThroughputEstimator a = make_trained();
+  std::stringstream buf;
+  a.save(buf);
+  ThroughputEstimator b = ThroughputEstimator::load(buf);
+
+  EXPECT_TRUE(b.trained());
+  EXPECT_EQ(a.num_params(), b.num_params());
+
+  util::Rng rng(33);
+  const SampleSet probes = make_synthetic(6, rng);
+  for (const Tensor& x : probes.inputs) {
+    const auto pa = a.predict(x);
+    const auto pb = b.predict(x);
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_DOUBLE_EQ(pa[d], pb[d]) << "output " << d;
+    }
+    EXPECT_DOUBLE_EQ(a.predict_reward(x), b.predict_reward(x));
+  }
+}
+
+TEST(EstimatorIO, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ob_estimator_test.bin")
+          .string();
+  ThroughputEstimator a = make_trained(55);
+  a.save_file(path);
+  ThroughputEstimator b = ThroughputEstimator::load_file(path);
+
+  util::Rng rng(3);
+  const SampleSet probes = make_synthetic(3, rng);
+  for (const Tensor& x : probes.inputs) {
+    EXPECT_DOUBLE_EQ(a.predict_reward(x), b.predict_reward(x));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EstimatorIO, ConfigVariantsTravel) {
+  // A ReLU / no-log-compression estimator restores its exact configuration
+  // (different architecture flags must not be silently dropped).
+  EstimatorConfig cfg;
+  cfg.use_gelu = false;
+  cfg.log_targets = false;
+
+  util::Rng rng(77);
+  const SampleSet data = make_synthetic(48, rng);
+  ThroughputEstimator a(kM, kL, cfg);
+  nn::L1Loss l1;
+  nn::TrainConfig tc;
+  tc.epochs = 3;
+  a.fit(data, 8, l1, tc);
+
+  std::stringstream buf;
+  a.save(buf);
+  ThroughputEstimator b = ThroughputEstimator::load(buf);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict_reward(data.inputs[i]),
+                     b.predict_reward(data.inputs[i]));
+  }
+}
+
+TEST(EstimatorIO, RejectsForeignAndTruncatedStreams) {
+  std::stringstream garbage("OBNN pretending to be an estimator");
+  EXPECT_THROW(ThroughputEstimator::load(garbage), std::runtime_error);
+
+  ThroughputEstimator a = make_trained(91);
+  std::stringstream buf;
+  a.save(buf);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() - 64);
+  std::stringstream cut(bytes);
+  EXPECT_THROW(ThroughputEstimator::load(cut), std::runtime_error);
+}
+
+TEST(EstimatorIO, MissingFileThrows) {
+  EXPECT_THROW(ThroughputEstimator::load_file("/nonexistent/estimator.bin"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Mapping / segment-extraction semantics, including the pipeline-stage limit
+// that defines the paper's losing states.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/mapping.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace omniboost::sim;
+using omniboost::device::ComponentId;
+
+constexpr auto G = ComponentId::kGpu;
+constexpr auto B = ComponentId::kBigCpu;
+constexpr auto L = ComponentId::kLittleCpu;
+
+TEST(Segments, SingleRun) {
+  const auto segs = extract_segments({G, G, G});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].first, 0u);
+  EXPECT_EQ(segs[0].last, 2u);
+  EXPECT_EQ(segs[0].comp, G);
+}
+
+TEST(Segments, AlternatingRuns) {
+  const auto segs = extract_segments({G, B, B, L, G});
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[1].first, 1u);
+  EXPECT_EQ(segs[1].last, 2u);
+  EXPECT_EQ(segs[2].comp, L);
+  EXPECT_EQ(segs[3].first, 4u);
+}
+
+TEST(Segments, EmptyAssignment) {
+  EXPECT_TRUE(extract_segments({}).empty());
+  EXPECT_EQ(num_stages({}), 0u);
+}
+
+TEST(Segments, NumStagesMatchesExtraction) {
+  omniboost::util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Assignment a(1 + rng.below(40));
+    for (auto& c : a) c = static_cast<ComponentId>(rng.below(3));
+    EXPECT_EQ(num_stages(a), extract_segments(a).size());
+  }
+}
+
+TEST(Mapping, AllOnPlacesEverythingOnOneComponent) {
+  const Mapping m = Mapping::all_on({5, 3, 7}, B);
+  EXPECT_EQ(m.num_dnns(), 3u);
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_EQ(m.stages(d), 1u);
+    for (ComponentId c : m.assignment(d)) EXPECT_EQ(c, B);
+  }
+  EXPECT_EQ(m.max_stages(), 1u);
+}
+
+TEST(Mapping, StageAccounting) {
+  const Mapping m({{G, G, B}, {L, L, L}, {G, B, L, G}});
+  EXPECT_EQ(m.stages(0), 2u);
+  EXPECT_EQ(m.stages(1), 1u);
+  EXPECT_EQ(m.stages(2), 4u);
+  EXPECT_EQ(m.max_stages(), 4u);
+  EXPECT_TRUE(m.within_stage_limit(4));
+  EXPECT_FALSE(m.within_stage_limit(3));
+}
+
+TEST(Mapping, InvalidConstructionsThrow) {
+  EXPECT_THROW(Mapping(std::vector<Assignment>{}), std::invalid_argument);
+  EXPECT_THROW(Mapping({Assignment{}}), std::invalid_argument);
+  EXPECT_THROW(Mapping::all_on({3, 0}, G), std::invalid_argument);
+  const Mapping m({{G}});
+  EXPECT_THROW(m.assignment(1), std::invalid_argument);
+  EXPECT_THROW(m.stages(1), std::invalid_argument);
+}
+
+TEST(Mapping, EqualityIsStructural) {
+  const Mapping a({{G, B}});
+  const Mapping b({{G, B}});
+  const Mapping c({{B, G}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// Property: random assignments always respect the requested stage limit and
+// have neighbouring segments on distinct components.
+class RandomAssignmentProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomAssignmentProperty, StageLimitHolds) {
+  omniboost::util::Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t layers = 1 + rng.below(40);
+    const std::size_t limit = 1 + rng.below(3);
+    const Assignment a =
+        omniboost::workload::random_assignment(rng, layers, limit);
+    EXPECT_EQ(a.size(), layers);
+    EXPECT_LE(num_stages(a), limit);
+    const auto segs = extract_segments(a);
+    for (std::size_t s = 1; s < segs.size(); ++s)
+      EXPECT_NE(segs[s].comp, segs[s - 1].comp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAssignmentProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(RandomAssignment, CoversAllStageCounts) {
+  omniboost::util::Rng rng(11);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 300; ++i)
+    seen.insert(
+        num_stages(omniboost::workload::random_assignment(rng, 20, 3)));
+  EXPECT_EQ(seen, (std::set<std::size_t>{1, 2, 3}));
+}
+
+TEST(TwoWaySplit, CutSemantics) {
+  omniboost::util::Rng rng(13);
+  bool saw_all_first = false, saw_all_second = false, saw_split = false;
+  for (int i = 0; i < 200; ++i) {
+    const Assignment a =
+        omniboost::workload::random_two_way_split(rng, 10, G, B);
+    const std::size_t stages = num_stages(a);
+    EXPECT_LE(stages, 2u);
+    if (stages == 1) {
+      (a[0] == G ? saw_all_first : saw_all_second) = true;
+    } else {
+      saw_split = true;
+      EXPECT_EQ(a.front(), G);  // prefix on `first`
+      EXPECT_EQ(a.back(), B);   // suffix on `second`
+    }
+  }
+  EXPECT_TRUE(saw_all_first);
+  EXPECT_TRUE(saw_all_second);
+  EXPECT_TRUE(saw_split);
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+// The model zoo: per-network structural invariants and cross-checks against
+// published FLOP/parameter figures.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/net_builder.hpp"
+#include "models/zoo.hpp"
+
+namespace {
+
+using namespace omniboost::models;
+
+const ModelZoo& zoo() {
+  static const ModelZoo z;
+  return z;
+}
+
+TEST(Zoo, HasAllElevenModels) {
+  EXPECT_EQ(zoo().num_models(), kNumModels);
+  EXPECT_EQ(kNumModels, 11u);
+}
+
+TEST(Zoo, MaxLayersIsResNet101) {
+  EXPECT_EQ(zoo().max_layers(), zoo().network(ModelId::kResNet101).num_layers());
+}
+
+TEST(Zoo, NamesMatchIds) {
+  for (ModelId id : kAllModels)
+    EXPECT_EQ(zoo().network(id).name, model_name(id));
+}
+
+struct ModelExpectation {
+  ModelId id;
+  double gflops_lo, gflops_hi;     // published ballpark, generous bounds
+  double weights_mb_lo, weights_mb_hi;
+  std::size_t layers_lo, layers_hi;
+};
+
+class ZooSpotCheck : public ::testing::TestWithParam<ModelExpectation> {};
+
+TEST_P(ZooSpotCheck, MatchesPublishedFigures) {
+  const ModelExpectation e = GetParam();
+  const NetworkDesc& n = zoo().network(e.id);
+  EXPECT_GE(n.total_flops() / 1e9, e.gflops_lo) << n.name;
+  EXPECT_LE(n.total_flops() / 1e9, e.gflops_hi) << n.name;
+  EXPECT_GE(n.total_weight_bytes() / 1e6, e.weights_mb_lo) << n.name;
+  EXPECT_LE(n.total_weight_bytes() / 1e6, e.weights_mb_hi) << n.name;
+  EXPECT_GE(n.num_layers(), e.layers_lo) << n.name;
+  EXPECT_LE(n.num_layers(), e.layers_hi) << n.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PublishedFigures, ZooSpotCheck,
+    ::testing::Values(
+        // AlexNet: ~61M params (244 MB fp32); ungrouped convs ~2.3 GFLOPs.
+        ModelExpectation{ModelId::kAlexNet, 1.3, 2.6, 230, 260, 11, 11},
+        // MobileNet v1: ~4.2M params, ~1.1 GFLOPs, 28 weight layers + gap/fc.
+        ModelExpectation{ModelId::kMobileNet, 0.9, 1.4, 15, 19, 28, 30},
+        // ResNet-34: ~21.8M params, ~7.3 GFLOPs.
+        ModelExpectation{ModelId::kResNet34, 6.5, 8.2, 80, 95, 20, 20},
+        // ResNet-50: ~25.6M params, ~8.2 GFLOPs.
+        ModelExpectation{ModelId::kResNet50, 7.0, 9.0, 95, 110, 20, 20},
+        // ResNet-101: ~44.5M params, ~15.2 GFLOPs.
+        ModelExpectation{ModelId::kResNet101, 14.0, 16.5, 170, 190, 37, 37},
+        // VGG-13: ~133M params, ~22.6 GFLOPs.
+        ModelExpectation{ModelId::kVgg13, 21.0, 24.5, 520, 545, 18, 18},
+        // VGG-16: ~138M params, ~31 GFLOPs.
+        ModelExpectation{ModelId::kVgg16, 29.0, 33.0, 540, 565, 21, 21},
+        // VGG-19: ~144M params, ~39 GFLOPs.
+        ModelExpectation{ModelId::kVgg19, 37.0, 41.5, 565, 585, 24, 24},
+        // SqueezeNet 1.0: ~1.25M params, ~1.7 GFLOPs.
+        ModelExpectation{ModelId::kSqueezeNet, 1.2, 2.0, 4, 6, 22, 22},
+        // Inception-v3: ~24M params, ~11.5 GFLOPs.
+        ModelExpectation{ModelId::kInceptionV3, 10.0, 13.0, 85, 105, 20, 20},
+        // Inception-v4: ~43M params, ~24.5 GFLOPs.
+        ModelExpectation{ModelId::kInceptionV4, 22.0, 27.0, 150, 175, 25,
+                         25}));
+
+class ZooStructural : public ::testing::TestWithParam<ModelId> {};
+
+TEST_P(ZooStructural, LayerShapesChain) {
+  const NetworkDesc& n = zoo().network(GetParam());
+  ASSERT_FALSE(n.layers.empty());
+  EXPECT_EQ(n.layers.front().input, n.input);
+  for (std::size_t l = 1; l < n.layers.size(); ++l)
+    EXPECT_EQ(n.layers[l].input, n.layers[l - 1].output)
+        << n.name << " layer " << l << " (" << n.layers[l].name << ")";
+}
+
+TEST_P(ZooStructural, LayerNamesUnique) {
+  const NetworkDesc& n = zoo().network(GetParam());
+  std::set<std::string> names;
+  for (const auto& l : n.layers) names.insert(l.name);
+  EXPECT_EQ(names.size(), n.layers.size()) << n.name;
+}
+
+TEST_P(ZooStructural, EveryLayerHasKernelsAndPositiveCost) {
+  const NetworkDesc& n = zoo().network(GetParam());
+  for (const auto& l : n.layers) {
+    EXPECT_FALSE(l.kernels.empty()) << n.name << "/" << l.name;
+    EXPECT_GT(l.traffic_bytes(), 0.0) << n.name << "/" << l.name;
+    EXPECT_GT(l.output_bytes(), 0.0) << n.name << "/" << l.name;
+    for (const auto& k : l.kernels) {
+      EXPECT_GE(k.flops, 0.0);
+      EXPECT_GT(k.bytes, 0.0);
+    }
+  }
+}
+
+TEST_P(ZooStructural, ClassifierHeadEmits1000Classes) {
+  const NetworkDesc& n = zoo().network(GetParam());
+  EXPECT_EQ(n.layers.back().output.c, 1000u) << n.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooStructural,
+                         ::testing::ValuesIn(kAllModels),
+                         [](const auto& info) {
+                           std::string s(model_name(info.param));
+                           for (char& c : s)
+                             if (c == '-') c = '_';
+                           return s;
+                         });
+
+TEST(NetBuilder, ConvOutExtent) {
+  EXPECT_EQ(conv_out_extent(224, 11, 4, 2), 55u);  // AlexNet conv1
+  EXPECT_EQ(conv_out_extent(224, 3, 1, 1), 224u);  // same padding
+  EXPECT_EQ(conv_out_extent(7, 3, 2, 0), 3u);
+  EXPECT_THROW(conv_out_extent(2, 5, 1, 0), std::invalid_argument);
+}
+
+TEST(NetBuilder, ConvKernelDecomposition) {
+  // k>1 convs lower to im2col + GEMM; 1x1 convs skip im2col.
+  NetBuilder b("t", {3, 8, 8});
+  b.conv(4, 3, 1, 1, "c3").conv(4, 1, 1, 0, "c1");
+  const NetworkDesc n = std::move(b).build();
+  const auto& k3 = n.layers[0].kernels;
+  ASSERT_GE(k3.size(), 3u);
+  EXPECT_EQ(k3[0].kind, KernelKind::kIm2col);
+  EXPECT_EQ(k3[1].kind, KernelKind::kGemm);
+  const auto& k1 = n.layers[1].kernels;
+  EXPECT_EQ(k1[0].kind, KernelKind::kGemm);
+}
+
+TEST(NetBuilder, ConvFlopsFormula) {
+  NetBuilder b("t", {3, 8, 8});
+  b.conv(4, 3, 1, 1, "c");
+  const NetworkDesc n = std::move(b).build();
+  // GEMM flops = 2 * k^2 * Cin * Cout * H * W; +bias +activation elementwise.
+  const double gemm = 2.0 * 9 * 3 * 4 * 8 * 8;
+  const double elementwise = 2.0 * 4 * 8 * 8;
+  EXPECT_NEAR(n.layers[0].flops(), gemm + elementwise, 1.0);
+}
+
+TEST(NetBuilder, ResidualProjectionOnlyWhenNeeded) {
+  NetBuilder b1("t", {64, 56, 56});
+  b1.residual_basic(64, 1, "same");
+  const NetworkDesc same = std::move(b1).build();
+  NetBuilder b2("t", {64, 56, 56});
+  b2.residual_basic(128, 2, "proj");
+  const NetworkDesc proj = std::move(b2).build();
+  // The projected block carries an extra conv's weights.
+  const double same_w = 2.0 * 9 * 64 * 64 * 4;
+  EXPECT_NEAR(same.layers[0].weight_bytes, same_w + 2 * 64 * 4, same_w * 0.01);
+  EXPECT_GT(proj.layers[0].weight_bytes,
+            (9.0 * 64 * 128 + 9.0 * 128 * 128) * 4);
+}
+
+TEST(NetBuilder, InceptionConcatenatesBranches) {
+  NetBuilder b("t", {64, 17, 17});
+  b.inception({{ConvSpec::square(32, 1)}, {ConvSpec::square(16, 3, 1, 1)}},
+              8, 1, "mix");
+  const NetworkDesc n = std::move(b).build();
+  EXPECT_EQ(n.layers[0].output.c, 32u + 16 + 8);
+  EXPECT_EQ(n.layers[0].output.h, 17u);
+}
+
+TEST(NetBuilder, InceptionPoolPassthroughKeepsChannels) {
+  NetBuilder b("t", {64, 17, 17});
+  b.inception({{ConvSpec::square(32, 3, 2, 0)}}, 0, 2, "red");
+  const NetworkDesc n = std::move(b).build();
+  EXPECT_EQ(n.layers[0].output.c, 32u + 64);
+  EXPECT_EQ(n.layers[0].output.h, 8u);
+}
+
+TEST(NetBuilder, InceptionSpatialMismatchThrows) {
+  NetBuilder b("t", {16, 17, 17});
+  EXPECT_THROW(b.inception({{ConvSpec::square(8, 3, 2, 0)},
+                            {ConvSpec::square(8, 1)}},
+                           4, 1, "bad"),
+               std::invalid_argument);
+}
+
+TEST(NetBuilder, MobileNetCounts28WeightLayers) {
+  const NetworkDesc& n = zoo().network(ModelId::kMobileNet);
+  std::size_t weight_layers = 0;
+  for (const auto& l : n.layers)
+    if (l.weight_bytes > 0.0) ++weight_layers;
+  EXPECT_EQ(weight_layers, 28u);  // paper's motivational count
+}
+
+TEST(NetBuilder, Vgg19Has16ConvAnd3Fc) {
+  const NetworkDesc& n = zoo().network(ModelId::kVgg19);
+  std::size_t convs = 0, fcs = 0;
+  for (const auto& l : n.layers) {
+    convs += l.kind == LayerKind::kConv;
+    fcs += l.kind == LayerKind::kFullyConnected;
+  }
+  EXPECT_EQ(convs, 16u);
+  EXPECT_EQ(fcs, 3u);
+}
+
+TEST(NetBuilder, DepthwiseLayersMarked) {
+  const NetworkDesc& n = zoo().network(ModelId::kMobileNet);
+  std::size_t dw = 0;
+  for (const auto& l : n.layers) dw += l.kind == LayerKind::kDepthwiseConv;
+  EXPECT_EQ(dw, 13u);
+}
+
+TEST(Models, MakeModelThrowsOnBadId) {
+  EXPECT_THROW(make_model(static_cast<ModelId>(99)), std::invalid_argument);
+  EXPECT_THROW(model_name(static_cast<ModelId>(99)), std::invalid_argument);
+}
+
+TEST(Models, MotivationalExampleDesignSpace) {
+  // §II: the four motivational DNNs span a design space counted via C(L, 3).
+  const double l = static_cast<double>(
+      zoo().network(ModelId::kAlexNet).num_layers() +
+      zoo().network(ModelId::kMobileNet).num_layers() +
+      zoo().network(ModelId::kVgg19).num_layers() +
+      zoo().network(ModelId::kSqueezeNet).num_layers());
+  const double c3 = l * (l - 1) * (l - 2) / 6.0;
+  EXPECT_GT(c3, 50'000.0);   // paper: ~95,000
+  EXPECT_LT(c3, 150'000.0);
+}
+
+}  // namespace

@@ -1,0 +1,362 @@
+// Cross-module property sweeps: invariants that must hold for *any* seed,
+// any workload, any mapping — the contracts the schedulers, simulators and
+// embedding machinery rely on when composed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/embedding.hpp"
+#include "device/cost_model.hpp"
+#include "models/zoo.hpp"
+#include "sim/analytic.hpp"
+#include "sim/des.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace omniboost;
+using models::ModelId;
+using models::ModelZoo;
+using sim::ComponentId;
+using workload::Workload;
+
+const ModelZoo& zoo() {
+  static const ModelZoo z;
+  return z;
+}
+
+const device::DeviceSpec& hikey() {
+  static const device::DeviceSpec d = device::make_hikey970();
+  return d;
+}
+
+const device::CostModel& cost() {
+  static const device::CostModel c(hikey());
+  return c;
+}
+
+const sim::DesSimulator& board() {
+  static const sim::DesSimulator s(hikey());
+  return s;
+}
+
+const sim::AnalyticModel& analytic() {
+  static const sim::AnalyticModel m(hikey());
+  return m;
+}
+
+const core::EmbeddingTensor& embedding() {
+  static const core::EmbeddingTensor e(zoo(), cost());
+  return e;
+}
+
+/// Seed-parameterized sweep fixture.
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  util::Rng rng_{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+// --- Mapping / segment invariants -------------------------------------------
+
+TEST_P(SeededProperty, RandomMappingsAreAlwaysValid) {
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t n = 1 + rng_.below(5);
+    const Workload w = workload::random_mix(rng_, n);
+    const sim::Mapping m = workload::random_mapping(rng_, zoo(), w, 3);
+
+    ASSERT_EQ(m.num_dnns(), n);
+    const auto counts = w.layer_counts(zoo());
+    for (std::size_t d = 0; d < n; ++d) {
+      ASSERT_EQ(m.assignment(d).size(), counts[d]);
+      ASSERT_LE(m.stages(d), 3u);
+    }
+    ASSERT_TRUE(m.within_stage_limit(3));
+  }
+}
+
+TEST_P(SeededProperty, SegmentsPartitionTheLayerRange) {
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t layers = 1 + rng_.below(40);
+    const sim::Assignment a = workload::random_assignment(rng_, layers, 3);
+    const auto segs = sim::extract_segments(a);
+
+    // Segments tile [0, layers) without gaps or overlaps...
+    ASSERT_FALSE(segs.empty());
+    ASSERT_EQ(segs.front().first, 0u);
+    ASSERT_EQ(segs.back().last, layers - 1);
+    for (std::size_t s = 1; s < segs.size(); ++s) {
+      ASSERT_EQ(segs[s].first, segs[s - 1].last + 1);
+      // ...and adjacent segments run on different components (else they
+      // would be one segment).
+      ASSERT_NE(segs[s].comp, segs[s - 1].comp);
+    }
+    ASSERT_EQ(segs.size(), sim::num_stages(a));
+  }
+}
+
+TEST_P(SeededProperty, RandomMixesDrawDistinctModels) {
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t n = 1 + rng_.below(5);
+    const Workload w = workload::random_mix(rng_, n);
+    std::set<ModelId> unique(w.mix.begin(), w.mix.end());
+    ASSERT_EQ(unique.size(), w.size());
+  }
+}
+
+// --- Cost-model invariants ----------------------------------------------------
+
+TEST(CostModelProperty, LayerTimeIsPositiveEverywhere) {
+  for (const auto& net : zoo().networks()) {
+    for (const auto& layer : net.layers) {
+      for (const ComponentId c : device::kAllComponents) {
+        ASSERT_GT(cost().layer_time(layer, c), 0.0)
+            << net.name << "/" << layer.name << " on "
+            << device::component_name(c);
+      }
+    }
+  }
+}
+
+TEST(CostModelProperty, SegmentTimeIsAdditive) {
+  const auto& net = zoo().network(ModelId::kVgg16);
+  for (const ComponentId c : device::kAllComponents) {
+    const double whole = cost().segment_time(net, 0, net.num_layers() - 1, c);
+    double by_layer = 0.0;
+    for (std::size_t l = 0; l < net.num_layers(); ++l)
+      by_layer += cost().layer_time(net.layers[l], c);
+    ASSERT_NEAR(whole, by_layer, 1e-12 * std::max(1.0, whole));
+  }
+}
+
+TEST(CostModelProperty, LittleCpuNeverBeatsBigCpu) {
+  // Same micro-architecture family, lower clock and narrower units: the
+  // LITTLE cluster must be slower than the big cluster on every layer.
+  for (const auto& net : zoo().networks()) {
+    for (const auto& layer : net.layers) {
+      ASSERT_GE(cost().layer_time(layer, ComponentId::kLittleCpu),
+                cost().layer_time(layer, ComponentId::kBigCpu))
+          << net.name << "/" << layer.name;
+    }
+  }
+}
+
+TEST(CostModelProperty, TransferCostsAreSymmetricAndZeroOnSelf) {
+  for (const ComponentId a : device::kAllComponents) {
+    for (const ComponentId b : device::kAllComponents) {
+      const double t_ab = cost().transfer_time(1e6, a, b);
+      if (a == b) {
+        ASSERT_EQ(t_ab, 0.0);
+      } else {
+        ASSERT_GT(t_ab, 0.0);
+        ASSERT_DOUBLE_EQ(t_ab, cost().transfer_time(1e6, b, a));
+      }
+    }
+  }
+}
+
+TEST(CostModelProperty, TransferTimeMonotoneInBytes) {
+  double prev = 0.0;
+  for (const double bytes : {1e3, 1e5, 1e7, 1e9}) {
+    const double t = cost().transfer_time(bytes, ComponentId::kGpu,
+                                          ComponentId::kBigCpu);
+    ASSERT_GT(t, prev);
+    prev = t;
+  }
+}
+
+// --- Simulator cross-validation ------------------------------------------------
+
+TEST_P(SeededProperty, DesAndAnalyticAgreeOnFeasibility) {
+  for (int i = 0; i < 8; ++i) {
+    const Workload w = workload::random_mix(rng_, 1 + rng_.below(5));
+    const sim::Mapping m = workload::random_mapping(rng_, zoo(), w, 3);
+    const auto nets = w.resolve(zoo());
+    ASSERT_EQ(board().simulate(nets, m).feasible,
+              analytic().evaluate(nets, m).feasible)
+        << w.describe();
+  }
+}
+
+TEST_P(SeededProperty, DesRatesAreFiniteAndNonNegative) {
+  for (int i = 0; i < 8; ++i) {
+    const Workload w = workload::random_mix(rng_, 1 + rng_.below(4));
+    const sim::Mapping m = workload::random_mapping(rng_, zoo(), w, 3);
+    const auto r = board().simulate(w.resolve(zoo()), m);
+    for (const double rate : r.per_dnn_rate) {
+      ASSERT_TRUE(std::isfinite(rate));
+      ASSERT_GE(rate, 0.0);
+    }
+    ASSERT_LE(r.avg_throughput,
+              *std::max_element(r.per_dnn_rate.begin(), r.per_dnn_rate.end()) +
+                  1e-12);
+    ASSERT_GE(r.dram_scale, 0.0);
+    ASSERT_LE(r.dram_scale, 1.0);
+  }
+}
+
+TEST(SimulatorAgreement, RankCorrelationAcrossRandomMappings) {
+  // The analytic model is only useful as a fast oracle if it *ranks*
+  // mappings like the DES does. Spearman over 40 random mappings of a fixed
+  // 3-mix must be strongly positive.
+  util::Rng rng(2024);
+  const Workload w{{ModelId::kVgg16, ModelId::kAlexNet, ModelId::kMobileNet}};
+  const auto nets = w.resolve(zoo());
+
+  std::vector<double> des_t, ana_t;
+  for (int i = 0; i < 40; ++i) {
+    const sim::Mapping m = workload::random_mapping(rng, zoo(), w, 3);
+    des_t.push_back(board().simulate(nets, m).avg_throughput);
+    ana_t.push_back(analytic().evaluate(nets, m).avg_throughput);
+  }
+  const auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> idx(v.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+    std::vector<double> r(v.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      r[idx[i]] = static_cast<double>(i);
+    return r;
+  };
+  const auto ra = ranks(des_t), rb = ranks(ana_t);
+  const double mean = (static_cast<double>(ra.size()) - 1.0) / 2.0;
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    num += (ra[i] - mean) * (rb[i] - mean);
+    da += (ra[i] - mean) * (ra[i] - mean);
+    db += (rb[i] - mean) * (rb[i] - mean);
+  }
+  const double spearman = num / std::sqrt(da * db);
+  EXPECT_GT(spearman, 0.7) << "analytic model ranks unlike the DES";
+}
+
+// --- Embedding / mask invariants ----------------------------------------------
+
+TEST_P(SeededProperty, MaskedInputIsSubsetOfEmbedding) {
+  const auto& u = embedding().tensor();
+  for (int i = 0; i < 10; ++i) {
+    const Workload w = workload::random_mix(rng_, 1 + rng_.below(5));
+    const sim::Mapping m = workload::random_mapping(rng_, zoo(), w, 3);
+    const tensor::Tensor masked = embedding().masked_input(w, m);
+
+    ASSERT_EQ(masked.shape(), u.shape());
+    for (std::size_t k = 0; k < masked.size(); ++k) {
+      // Every masked cell is either zero or exactly the embedding value.
+      ASSERT_TRUE(masked[k] == 0.0f || masked[k] == u[k]) << "cell " << k;
+    }
+  }
+}
+
+TEST_P(SeededProperty, MaskSlicesAreDisjointAcrossComponents) {
+  // A layer runs on exactly one component, so for any (model, layer) cell at
+  // most one of the three component slices may be non-zero.
+  const std::size_t md = embedding().models_dim();
+  const std::size_t ld = embedding().layers_dim();
+  for (int i = 0; i < 5; ++i) {
+    const Workload w = workload::random_mix(rng_, 1 + rng_.below(5));
+    const sim::Mapping m = workload::random_mapping(rng_, zoo(), w, 3);
+    const tensor::Tensor masked = embedding().masked_input(w, m);
+    for (std::size_t cell = 0; cell < md * ld; ++cell) {
+      int active = 0;
+      for (std::size_t c = 0; c < 3; ++c)
+        if (masked[c * md * ld + cell] != 0.0f) ++active;
+      ASSERT_LE(active, 1) << "cell " << cell;
+    }
+  }
+}
+
+TEST_P(SeededProperty, FullWorkloadMaskCoversEveryProfiledLayer) {
+  // Cells of scheduled models: the union over components must reproduce the
+  // embedding exactly wherever the embedding is non-zero.
+  const std::size_t md = embedding().models_dim();
+  const std::size_t ld = embedding().layers_dim();
+  const auto& u = embedding().tensor();
+
+  const Workload w = workload::random_mix(rng_, 3);
+  const sim::Mapping m = workload::random_mapping(rng_, zoo(), w, 3);
+  const tensor::Tensor masked = embedding().masked_input(w, m);
+
+  for (const ModelId id : w.mix) {
+    const std::size_t col = models::model_index(id);
+    const std::size_t layers = zoo().network(id).num_layers();
+    for (std::size_t l = 0; l < layers; ++l) {
+      float union_val = 0.0f;
+      float embed_max = 0.0f;
+      for (std::size_t c = 0; c < 3; ++c) {
+        union_val = std::max(union_val, masked[c * md * ld + col * ld + l]);
+        embed_max = std::max(embed_max, u[c * md * ld + col * ld + l]);
+      }
+      ASSERT_GT(embed_max, 0.0f) << "unprofiled layer?";
+      ASSERT_GT(union_val, 0.0f)
+          << "scheduled layer " << l << " of " << models::model_name(id)
+          << " missing from the mask";
+    }
+  }
+}
+
+// --- Degenerate / failure-injection cases --------------------------------------
+
+TEST(DegenerateCases, SingleLayerAssignments) {
+  util::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const sim::Assignment a = workload::random_assignment(rng, 1, 3);
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(sim::num_stages(a), 1u);
+  }
+}
+
+TEST(DegenerateCases, StageLimitOneProducesSingleComponent) {
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const sim::Assignment a = workload::random_assignment(rng, 25, 1);
+    ASSERT_EQ(sim::num_stages(a), 1u);
+  }
+}
+
+TEST(DegenerateCases, EmptyWorkloadRejectedEverywhere) {
+  const sim::NetworkList none;
+  EXPECT_THROW(board().simulate(none, sim::Mapping()), std::invalid_argument);
+  EXPECT_THROW(analytic().evaluate(none, sim::Mapping()),
+               std::invalid_argument);
+}
+
+TEST(DegenerateCases, MismatchedMappingRejected) {
+  const Workload w{{ModelId::kAlexNet, ModelId::kVgg19}};
+  const auto nets = w.resolve(zoo());
+  // Mapping arity != workload arity.
+  const sim::Mapping one = sim::Mapping::all_on(
+      {zoo().network(ModelId::kAlexNet).num_layers()}, ComponentId::kGpu);
+  EXPECT_THROW(board().simulate(nets, one), std::invalid_argument);
+  // Assignment length != network layer count.
+  const sim::Mapping wrong_len =
+      sim::Mapping::all_on({3, 4}, ComponentId::kGpu);
+  EXPECT_THROW(board().simulate(nets, wrong_len), std::invalid_argument);
+}
+
+TEST(DegenerateCases, ZeroThroughputWorkloadsStayConsistent) {
+  // Infeasible (over-memory) workloads must report zeroed, consistent data
+  // through both simulators and never NaN.
+  const Workload w{{ModelId::kVgg19, ModelId::kVgg16, ModelId::kVgg13,
+                    ModelId::kResNet101, ModelId::kInceptionV4,
+                    ModelId::kResNet50}};
+  const auto nets = w.resolve(zoo());
+  const sim::Mapping m =
+      sim::Mapping::all_on(w.layer_counts(zoo()), ComponentId::kGpu);
+  const sim::ThroughputReport from_des = board().simulate(nets, m);
+  const sim::ThroughputReport from_analytic = analytic().evaluate(nets, m);
+  for (const sim::ThroughputReport* report : {&from_des, &from_analytic}) {
+    ASSERT_FALSE(report->feasible);
+    ASSERT_EQ(report->avg_throughput, 0.0);
+    for (const double r : report->per_dnn_rate) ASSERT_EQ(r, 0.0);
+  }
+}
+
+}  // namespace

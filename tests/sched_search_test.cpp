@@ -1,0 +1,380 @@
+// The search-strategy scheduler family: greedy list scheduling, random
+// search, hill climbing, simulated annealing, and the exact exhaustive
+// optimizer, plus the segment-level neighbourhood move they share.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "core/omniboost.hpp"
+#include "models/zoo.hpp"
+#include "sched/exhaustive.hpp"
+#include "sched/greedy.hpp"
+#include "sched/local_search.hpp"
+#include "sim/analytic.hpp"
+#include "sim/des.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace omniboost;
+using models::ModelId;
+using models::ModelZoo;
+using sim::Assignment;
+using sim::ComponentId;
+using workload::Workload;
+
+const ModelZoo& zoo() {
+  static const ModelZoo z;
+  return z;
+}
+
+std::shared_ptr<const sim::AnalyticModel> analytic() {
+  static const auto model =
+      std::make_shared<const sim::AnalyticModel>(device::make_hikey970());
+  return model;
+}
+
+sched::WorkloadEvaluatorFactory analytic_factory() {
+  return sched::analytic_evaluator_factory(zoo(), analytic());
+}
+
+/// Achieved analytic throughput of a schedule decision (re-evaluated
+/// post-hoc so schedulers with different internal reward units compare).
+double achieved(const Workload& w, const sim::Mapping& m) {
+  return analytic()->evaluate(w.resolve(zoo()), m).avg_throughput;
+}
+
+// --- Space counting -------------------------------------------------------
+
+TEST(CountAssignments, SingleLayer) {
+  EXPECT_DOUBLE_EQ(sched::count_assignments(1, 3), 3.0);
+  EXPECT_DOUBLE_EQ(sched::count_assignments(1, 1), 3.0);
+}
+
+TEST(CountAssignments, TwoLayers) {
+  // 3 single-stage + C(1,1)*3*2 two-stage.
+  EXPECT_DOUBLE_EQ(sched::count_assignments(2, 3), 9.0);
+  EXPECT_DOUBLE_EQ(sched::count_assignments(2, 1), 3.0);
+}
+
+TEST(CountAssignments, UnlimitedStagesIsFullPower) {
+  // When the stage cap is >= L every component string is reachable: 3^L.
+  for (std::size_t layers = 1; layers <= 6; ++layers) {
+    EXPECT_DOUBLE_EQ(sched::count_assignments(layers, layers),
+                     std::pow(3.0, static_cast<double>(layers)))
+        << "layers=" << layers;
+  }
+}
+
+TEST(CountAssignments, StageLimitMonotone) {
+  for (std::size_t limit = 1; limit < 6; ++limit) {
+    EXPECT_LE(sched::count_assignments(12, limit),
+              sched::count_assignments(12, limit + 1));
+  }
+}
+
+TEST(CountMappings, ProductOverDnns) {
+  const Workload w{{ModelId::kAlexNet, ModelId::kVgg19}};
+  const auto counts = w.layer_counts(zoo());
+  EXPECT_DOUBLE_EQ(sched::count_mappings(zoo(), w, 3),
+                   sched::count_assignments(counts[0], 3) *
+                       sched::count_assignments(counts[1], 3));
+}
+
+TEST(CountMappings, RealisticSpaceIsHuge) {
+  // The paper's point: tens of millions of valid mappings for a real mix.
+  const Workload w{{ModelId::kVgg19, ModelId::kMobileNet, ModelId::kResNet50}};
+  EXPECT_GT(sched::count_mappings(zoo(), w, 3), 1e7);
+}
+
+// --- Enumeration ----------------------------------------------------------
+
+TEST(EnumerateAssignments, MatchesCountAndIsUniqueAndValid) {
+  for (std::size_t layers : {1u, 2u, 3u, 5u, 7u}) {
+    const auto all = sched::enumerate_assignments(layers, 3, 100'000);
+    EXPECT_EQ(static_cast<double>(all.size()),
+              sched::count_assignments(layers, 3))
+        << "layers=" << layers;
+    std::set<Assignment> unique(all.begin(), all.end());
+    EXPECT_EQ(unique.size(), all.size()) << "duplicates at layers=" << layers;
+    for (const Assignment& a : all) {
+      EXPECT_EQ(a.size(), layers);
+      EXPECT_LE(sim::num_stages(a), 3u);
+    }
+  }
+}
+
+TEST(EnumerateAssignments, StageLimitOneIsAllOn) {
+  const auto all = sched::enumerate_assignments(9, 1, 10);
+  ASSERT_EQ(all.size(), 3u);
+  for (const Assignment& a : all) {
+    EXPECT_EQ(sim::num_stages(a), 1u);
+  }
+}
+
+TEST(EnumerateAssignments, ThrowsAboveGuard) {
+  EXPECT_THROW(sched::enumerate_assignments(30, 3, 100), std::invalid_argument);
+}
+
+// --- Neighbourhood move ---------------------------------------------------
+
+class PerturbProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PerturbProperty, PreservesShapeAndStageLimit) {
+  util::Rng rng(GetParam());
+  for (std::size_t layers : {1u, 2u, 5u, 19u, 37u}) {
+    Assignment a = workload::random_assignment(rng, layers, 3);
+    for (int step = 0; step < 50; ++step) {
+      sched::perturb_assignment(rng, a, 3);
+      ASSERT_EQ(a.size(), layers);
+      ASSERT_LE(sim::num_stages(a), 3u) << "layers=" << layers;
+    }
+  }
+}
+
+TEST_P(PerturbProperty, EventuallyMoves) {
+  util::Rng rng(GetParam());
+  const Assignment start = workload::random_assignment(rng, 12, 3);
+  Assignment a = start;
+  bool moved = false;
+  for (int step = 0; step < 64 && !moved; ++step) {
+    sched::perturb_assignment(rng, a, 3);
+    moved = a != start;
+  }
+  EXPECT_TRUE(moved) << "64 perturbations never changed a 12-layer mapping";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PerturbProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Random search --------------------------------------------------------
+
+TEST(RandomSearch, RespectsBudgetAndStageLimit) {
+  sched::LocalSearchConfig cfg;
+  cfg.budget = 37;
+  sched::RandomSearchScheduler s("rs", zoo(), analytic_factory(), cfg);
+  const Workload w{{ModelId::kAlexNet, ModelId::kSqueezeNet}};
+  const auto r = s.schedule(w);
+  EXPECT_EQ(r.evaluations, 37u);
+  EXPECT_TRUE(r.mapping.within_stage_limit(3));
+  EXPECT_GT(r.expected_reward, 0.0);
+}
+
+TEST(RandomSearch, DeterministicUnderSeed) {
+  sched::LocalSearchConfig cfg;
+  cfg.budget = 25;
+  cfg.seed = 99;
+  const Workload w{{ModelId::kMobileNet, ModelId::kAlexNet}};
+  sched::RandomSearchScheduler a("rs", zoo(), analytic_factory(), cfg);
+  sched::RandomSearchScheduler b("rs", zoo(), analytic_factory(), cfg);
+  EXPECT_EQ(a.schedule(w).mapping, b.schedule(w).mapping);
+}
+
+TEST(RandomSearch, MoreBudgetNeverHurts) {
+  // With a shared seed the first N draws coincide, so the best-so-far reward
+  // is monotone in the budget.
+  const Workload w{{ModelId::kVgg16, ModelId::kMobileNet}};
+  double prev = -1.0;
+  for (std::size_t budget : {5u, 20u, 80u}) {
+    sched::LocalSearchConfig cfg;
+    cfg.budget = budget;
+    cfg.seed = 7;
+    sched::RandomSearchScheduler s("rs", zoo(), analytic_factory(), cfg);
+    const double reward = s.schedule(w).expected_reward;
+    EXPECT_GE(reward, prev) << "budget=" << budget;
+    prev = reward;
+  }
+}
+
+// --- Hill climbing --------------------------------------------------------
+
+TEST(HillClimb, RespectsBudgetAndStageLimit) {
+  sched::HillClimbConfig cfg;
+  cfg.budget = 60;
+  sched::HillClimbScheduler s("hc", zoo(), analytic_factory(), cfg);
+  const Workload w{{ModelId::kAlexNet, ModelId::kVgg13}};
+  const auto r = s.schedule(w);
+  EXPECT_EQ(r.evaluations, 60u);
+  EXPECT_TRUE(r.mapping.within_stage_limit(3));
+}
+
+TEST(HillClimb, BeatsFirstRandomDraw) {
+  // The climber starts from a random mapping; its final best can never be
+  // worse than that start, and with a real budget it should strictly improve
+  // on most seeds. Check the weaker invariant deterministically.
+  const Workload w{{ModelId::kVgg19, ModelId::kMobileNet, ModelId::kAlexNet}};
+  sched::HillClimbConfig one;
+  one.budget = 1;
+  one.seed = 11;
+  sched::HillClimbConfig full = one;
+  full.budget = 150;
+  sched::HillClimbScheduler first("hc", zoo(), analytic_factory(), one);
+  sched::HillClimbScheduler climber("hc", zoo(), analytic_factory(), full);
+  EXPECT_GE(climber.schedule(w).expected_reward,
+            first.schedule(w).expected_reward);
+}
+
+// --- Simulated annealing --------------------------------------------------
+
+TEST(Annealing, RespectsBudgetAndStageLimit) {
+  sched::AnnealingConfig cfg;
+  cfg.budget = 80;
+  sched::SimulatedAnnealingScheduler s("sa", zoo(), analytic_factory(), cfg);
+  const Workload w{{ModelId::kResNet34, ModelId::kSqueezeNet}};
+  const auto r = s.schedule(w);
+  EXPECT_EQ(r.evaluations, 80u);
+  EXPECT_TRUE(r.mapping.within_stage_limit(3));
+  EXPECT_GT(r.expected_reward, 0.0);
+}
+
+TEST(Annealing, RejectsBadTemperatureSchedule) {
+  sched::AnnealingConfig cfg;
+  cfg.initial_temperature = 0.01;
+  cfg.final_temperature = 0.5;  // inverted
+  EXPECT_THROW(sched::SimulatedAnnealingScheduler("sa", zoo(),
+                                                  analytic_factory(), cfg),
+               std::invalid_argument);
+}
+
+TEST(Annealing, TracksBestEverSeen) {
+  // expected_reward must be the max over the whole trajectory, not the final
+  // (possibly downhill-accepted) state: re-evaluating the returned mapping
+  // reproduces the reported reward.
+  sched::AnnealingConfig cfg;
+  cfg.budget = 120;
+  cfg.seed = 3;
+  sched::SimulatedAnnealingScheduler s("sa", zoo(), analytic_factory(), cfg);
+  const Workload w{{ModelId::kVgg16, ModelId::kAlexNet}};
+  const auto r = s.schedule(w);
+  EXPECT_NEAR(r.expected_reward, achieved(w, r.mapping), 1e-9);
+}
+
+// --- Greedy ---------------------------------------------------------------
+
+TEST(Greedy, DeterministicZeroCostDecision) {
+  sched::GreedyScheduler a(zoo(), device::make_hikey970());
+  sched::GreedyScheduler b(zoo(), device::make_hikey970());
+  const Workload w{{ModelId::kVgg19, ModelId::kResNet50, ModelId::kAlexNet}};
+  const auto ra = a.schedule(w);
+  const auto rb = b.schedule(w);
+  EXPECT_EQ(ra.mapping, rb.mapping);
+  EXPECT_EQ(ra.board_seconds, 0.0);
+  EXPECT_TRUE(ra.mapping.within_stage_limit(3));
+}
+
+TEST(Greedy, DistributesHeavyMixAcrossComponents) {
+  sched::GreedyScheduler s(zoo(), device::make_hikey970());
+  const Workload w{{ModelId::kVgg19, ModelId::kMobileNet, ModelId::kResNet50,
+                    ModelId::kInceptionV3}};
+  const auto r = s.schedule(w);
+  std::set<ComponentId> used;
+  for (std::size_t d = 0; d < r.mapping.num_dnns(); ++d) {
+    for (ComponentId c : r.mapping.assignment(d)) used.insert(c);
+  }
+  EXPECT_GE(used.size(), 2u)
+      << "load-aware greedy left a heavy 4-DNN mix on one component";
+}
+
+TEST(Greedy, HeavyMixStaysInSaneThroughputBand) {
+  // A myopic greedy is not guaranteed to beat the all-GPU baseline — the
+  // paper's related-work critique (§III) is exactly that trial-and-error
+  // greedy placement explores the space poorly. It must, however, produce a
+  // feasible mapping that clearly beats the all-LITTLE floor and stays
+  // within a sane band of the baseline.
+  sched::GreedyScheduler s(zoo(), device::make_hikey970());
+  const Workload w{{ModelId::kVgg19, ModelId::kMobileNet, ModelId::kResNet50,
+                    ModelId::kInceptionV3}};
+  const auto greedy = s.schedule(w);
+  const double got = achieved(w, greedy.mapping);
+  ASSERT_GT(got, 0.0) << "mix must be feasible";
+
+  const sim::Mapping all_little =
+      sim::Mapping::all_on(w.layer_counts(zoo()), ComponentId::kLittleCpu);
+  const sim::Mapping all_gpu =
+      sim::Mapping::all_on(w.layer_counts(zoo()), ComponentId::kGpu);
+  EXPECT_GT(got, achieved(w, all_little));
+  EXPECT_GT(got, 0.5 * achieved(w, all_gpu));
+}
+
+TEST(Greedy, StageLimitOneKeepsWholeNetsTogether) {
+  sched::GreedyConfig cfg;
+  cfg.max_stages = 1;
+  sched::GreedyScheduler s(zoo(), device::make_hikey970(), cfg);
+  const Workload w{{ModelId::kAlexNet, ModelId::kVgg19, ModelId::kMobileNet}};
+  const auto r = s.schedule(w);
+  EXPECT_EQ(r.mapping.max_stages(), 1u);
+}
+
+// --- Exhaustive / optimality ---------------------------------------------
+
+TEST(Exhaustive, ThrowsOnHugeSpace) {
+  sched::ExhaustiveScheduler s("exact", zoo(), analytic_factory(), {});
+  const Workload w{{ModelId::kVgg19, ModelId::kResNet101}};
+  EXPECT_THROW(s.schedule(w), std::invalid_argument);
+}
+
+class TinyWorkloadOptimality : public ::testing::Test {
+ protected:
+  // One AlexNet: a few hundred stage-limited assignments — exactly
+  // enumerable, yet already a non-trivial placement problem.
+  const Workload w_{{ModelId::kAlexNet}};
+
+  core::ScheduleResult exact_schedule() {
+    sched::ExhaustiveScheduler exact("exact", zoo(), analytic_factory(), {});
+    return exact.schedule(w_);
+  }
+};
+
+TEST_F(TinyWorkloadOptimality, ExhaustiveEvaluatesWholeSpace) {
+  const auto r = exact_schedule();
+  EXPECT_DOUBLE_EQ(static_cast<double>(r.evaluations),
+                   sched::count_mappings(zoo(), w_, 3));
+  EXPECT_TRUE(r.mapping.within_stage_limit(3));
+}
+
+TEST_F(TinyWorkloadOptimality, OptimumDominatesRandomSamples) {
+  const double optimum = exact_schedule().expected_reward;
+  util::Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const sim::Mapping m = workload::random_mapping(rng, zoo(), w_, 3);
+    EXPECT_LE(achieved(w_, m), optimum + 1e-9);
+  }
+}
+
+TEST_F(TinyWorkloadOptimality, MctsGetsCloseToOptimum) {
+  const double optimum = exact_schedule().expected_reward;
+
+  core::MctsConfig mcts;
+  mcts.budget = 400;
+  mcts.seed = 5;
+  const auto factory = analytic_factory();
+  core::MctsScheduler s("mcts-oracle", zoo(), factory(w_), mcts);
+  const double got = achieved(w_, s.schedule(w_).mapping);
+  // Uniform rollouts rarely sample late-splitting pipelines, so MCTS cannot
+  // be expected to hit the exact optimum on this adversarial single-DNN
+  // space; the paper's claim is "near optimal with high probability".
+  EXPECT_GE(got, 0.80 * optimum)
+      << "MCTS landed at " << got << " vs optimum " << optimum;
+}
+
+TEST_F(TinyWorkloadOptimality, InformedSearchesReachReasonableFraction) {
+  const double optimum = exact_schedule().expected_reward;
+
+  sched::HillClimbConfig hc;
+  hc.budget = 300;
+  sched::HillClimbScheduler climb("hc", zoo(), analytic_factory(), hc);
+  EXPECT_GE(achieved(w_, climb.schedule(w_).mapping), 0.85 * optimum);
+
+  sched::AnnealingConfig sa;
+  sa.budget = 300;
+  sched::SimulatedAnnealingScheduler anneal("sa", zoo(), analytic_factory(),
+                                            sa);
+  EXPECT_GE(achieved(w_, anneal.schedule(w_).mapping), 0.85 * optimum);
+}
+
+}  // namespace

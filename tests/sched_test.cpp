@@ -1,0 +1,226 @@
+// The comparison schedulers: GPU-only baseline, MOSAIC (linear regression +
+// slicing), GA (measurement-driven evolution + merge repair).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/zoo.hpp"
+#include "sched/baseline.hpp"
+#include "sched/ga.hpp"
+#include "sched/mosaic.hpp"
+#include "sim/des.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace omniboost;
+using models::ModelId;
+using models::ModelZoo;
+using sim::Assignment;
+using sim::ComponentId;
+using workload::Workload;
+
+constexpr auto G = ComponentId::kGpu;
+constexpr auto B = ComponentId::kBigCpu;
+constexpr auto L = ComponentId::kLittleCpu;
+
+const ModelZoo& zoo() {
+  static const ModelZoo z;
+  return z;
+}
+
+TEST(Baseline, MapsEverythingToGpu) {
+  auto sched = sched::AllOnScheduler::gpu_baseline(zoo());
+  const Workload w{{ModelId::kAlexNet, ModelId::kVgg19}};
+  const auto r = sched.schedule(w);
+  EXPECT_EQ(r.mapping.num_dnns(), 2u);
+  EXPECT_EQ(r.mapping.max_stages(), 1u);
+  for (std::size_t d = 0; d < 2; ++d)
+    for (ComponentId c : r.mapping.assignment(d)) EXPECT_EQ(c, G);
+  EXPECT_EQ(sched.name(), "Baseline");
+  EXPECT_EQ(r.evaluations, 0u);
+  EXPECT_EQ(r.board_seconds, 0.0);
+}
+
+TEST(Baseline, OtherTargets) {
+  sched::AllOnScheduler sched(zoo(), B, "all-big");
+  const auto r = sched.schedule(Workload{{ModelId::kSqueezeNet}});
+  for (ComponentId c : r.mapping.assignment(0)) EXPECT_EQ(c, B);
+}
+
+class MosaicTest : public ::testing::Test {
+ protected:
+  device::DeviceSpec device_ = device::make_hikey970();
+};
+
+TEST_F(MosaicTest, TrainingConsumesRequestedDataPoints) {
+  sched::MosaicConfig cfg;
+  cfg.data_points = 2'000;
+  sched::MosaicScheduler m(zoo(), device_, cfg);
+  EXPECT_EQ(m.training_samples(), 2'000u);
+  EXPECT_GT(m.training_board_seconds(), 0.0);
+}
+
+TEST_F(MosaicTest, LinearModelTracksLayerTimes) {
+  sched::MosaicScheduler m(zoo(), device_);
+  const device::CostModel cost(device_);
+  // R^2-style check: predictions of the big-CPU model correlate strongly
+  // with the true layer times it was fitted on.
+  const auto& model = m.component_model(ComponentId::kBigCpu);
+  double se = 0.0, st = 0.0, mean = 0.0;
+  std::size_t n = 0;
+  for (const auto& net : zoo().networks())
+    for (const auto& layer : net.layers) {
+      mean += cost.layer_time(layer, ComponentId::kBigCpu);
+      ++n;
+    }
+  mean /= static_cast<double>(n);
+  for (const auto& net : zoo().networks())
+    for (const auto& layer : net.layers) {
+      const double t = cost.layer_time(layer, ComponentId::kBigCpu);
+      const double p = model.predict(layer);
+      se += (t - p) * (t - p);
+      st += (t - mean) * (t - mean);
+    }
+  EXPECT_LT(se / st, 0.2);  // R^2 > 0.8
+}
+
+TEST_F(MosaicTest, PredictionsAreNonNegative) {
+  sched::MosaicScheduler m(zoo(), device_);
+  for (const auto& net : zoo().networks())
+    for (const auto& layer : net.layers)
+      for (auto c : device::kAllComponents)
+        EXPECT_GE(m.component_model(c).predict(layer), 0.0);
+}
+
+TEST_F(MosaicTest, RespectsStageLimit) {
+  sched::MosaicScheduler m(zoo(), device_);
+  util::Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    const Workload w = workload::random_mix(rng, 4);
+    const auto r = m.schedule(w);
+    EXPECT_LE(r.mapping.max_stages(), 3u);
+    EXPECT_EQ(r.evaluations, 4u);
+  }
+}
+
+TEST_F(MosaicTest, DistributesHeavyMixAcrossComponents) {
+  sched::MosaicScheduler m(zoo(), device_);
+  const Workload w{{ModelId::kVgg19, ModelId::kResNet101,
+                    ModelId::kInceptionV4, ModelId::kVgg16}};
+  const auto r = m.schedule(w);
+  std::set<ComponentId> used;
+  for (const auto& a : r.mapping.assignments())
+    for (ComponentId c : a) used.insert(c);
+  EXPECT_GE(used.size(), 2u);  // load balancing forces distribution
+}
+
+TEST_F(MosaicTest, BeatsBaselineOnHeavyMix) {
+  sched::MosaicScheduler m(zoo(), device_);
+  auto base = sched::AllOnScheduler::gpu_baseline(zoo());
+  sim::DesSimulator sim(device_);
+  const Workload w{{ModelId::kVgg19, ModelId::kResNet101,
+                    ModelId::kInceptionV4, ModelId::kVgg16}};
+  const auto nets = w.resolve(zoo());
+  const double tm =
+      sim.simulate(nets, m.schedule(w).mapping).avg_throughput;
+  const double tb =
+      sim.simulate(nets, base.schedule(w).mapping).avg_throughput;
+  EXPECT_GT(tm, tb);
+}
+
+TEST(GaRepair, ReducesStagesToLimit) {
+  Assignment a{G, B, G, L, B, G, B, L, G, B};  // 10 stages
+  sched::GaScheduler::repair_stages(a, 3);
+  EXPECT_LE(sim::num_stages(a), 3u);
+  EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(GaRepair, LeavesCompliantAssignmentsAlone) {
+  Assignment a{G, G, B, B, L};
+  const Assignment before = a;
+  sched::GaScheduler::repair_stages(a, 3);
+  EXPECT_EQ(a, before);
+}
+
+TEST(GaRepair, PropertyOverRandomChromosomes) {
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    Assignment a(1 + rng.below(40));
+    for (auto& c : a) c = static_cast<ComponentId>(rng.below(3));
+    sched::GaScheduler::repair_stages(a, 3);
+    EXPECT_LE(sim::num_stages(a), 3u);
+  }
+}
+
+TEST(GaRepair, LimitOneCollapsesToSingleComponent) {
+  Assignment a{G, B, L, G, B};
+  sched::GaScheduler::repair_stages(a, 1);
+  EXPECT_EQ(sim::num_stages(a), 1u);
+}
+
+class GaTest : public ::testing::Test {
+ protected:
+  device::DeviceSpec device_ = device::make_hikey970();
+};
+
+TEST_F(GaTest, ProducesValidMappingWithAccounting) {
+  sched::GaConfig cfg;
+  cfg.population = 8;
+  cfg.generations = 3;
+  sched::GaScheduler ga(zoo(), device_, cfg);
+  const Workload w{{ModelId::kAlexNet, ModelId::kMobileNet}};
+  const auto r = ga.schedule(w);
+  EXPECT_LE(r.mapping.max_stages(), 3u);
+  EXPECT_EQ(r.mapping.num_dnns(), 2u);
+  // pop + (pop - elitism) * generations fitness measurements.
+  EXPECT_EQ(r.evaluations, 8u + 6u * 3u);
+  EXPECT_NEAR(r.board_seconds,
+              static_cast<double>(r.evaluations) * cfg.board_seconds_per_eval,
+              1e-9);
+  EXPECT_GT(r.expected_reward, 0.0);
+}
+
+TEST_F(GaTest, DeterministicGivenSeed) {
+  sched::GaConfig cfg;
+  cfg.population = 8;
+  cfg.generations = 2;
+  const Workload w{{ModelId::kSqueezeNet, ModelId::kAlexNet}};
+  sched::GaScheduler a(zoo(), device_, cfg), b(zoo(), device_, cfg);
+  EXPECT_EQ(a.schedule(w).mapping, b.schedule(w).mapping);
+}
+
+TEST_F(GaTest, BeatsBaselineOnHeavyMix) {
+  // The default GA budget models the paper's ~5 board-minutes (~26 noisy
+  // measurements); give this check a little more search so it is stable.
+  sched::GaConfig cfg;
+  cfg.population = 16;
+  cfg.generations = 6;
+  cfg.fitness_noise = 0.1;
+  sched::GaScheduler ga(zoo(), device_, cfg);
+  auto base = sched::AllOnScheduler::gpu_baseline(zoo());
+  sim::DesSimulator sim(device_);
+  const Workload w{{ModelId::kVgg19, ModelId::kResNet50,
+                    ModelId::kInceptionV3, ModelId::kMobileNet}};
+  const auto nets = w.resolve(zoo());
+  const double tg = sim.simulate(nets, ga.schedule(w).mapping).avg_throughput;
+  const double tb =
+      sim.simulate(nets, base.schedule(w).mapping).avg_throughput;
+  EXPECT_GT(tg, 1.1 * tb);
+}
+
+TEST_F(GaTest, ConfigValidation) {
+  sched::GaConfig bad;
+  bad.population = 2;
+  EXPECT_THROW(sched::GaScheduler(zoo(), device_, bad),
+               std::invalid_argument);
+  sched::GaConfig elit;
+  elit.population = 8;
+  elit.elitism = 8;
+  EXPECT_THROW(sched::GaScheduler(zoo(), device_, elit),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Unit and property tests for the dense tensor substrate.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using omniboost::tensor::Shape;
+using omniboost::tensor::shape_size;
+using omniboost::tensor::Tensor;
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillValueConstructor) {
+  Tensor t({4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, ZeroExtentRejected) {
+  EXPECT_THROW(Tensor({2, 0, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);  // offset 1*3 + 2
+  t.at({0, 1}) = 3.0f;
+  EXPECT_EQ(t[1], 3.0f);
+}
+
+TEST(Tensor, OffsetMatchesAt) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.offset({1, 2, 3}), 1u * 12 + 2u * 4 + 3u);
+  EXPECT_EQ(t.offset({0, 0, 0}), 0u);
+}
+
+TEST(Tensor, BoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at({2, 0}), std::invalid_argument);
+  EXPECT_THROW(t.at({0, 3}), std::invalid_argument);
+  EXPECT_THROW(t.at({0}), std::invalid_argument);  // rank mismatch
+  EXPECT_THROW(t[6], std::invalid_argument);
+  EXPECT_THROW(t.extent(2), std::invalid_argument);
+}
+
+TEST(Tensor, FromVectorAndFromData) {
+  const Tensor v = Tensor::from_vector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(v.rank(), 1u);
+  EXPECT_EQ(v[1], 2.0f);
+  const Tensor m = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(m.at({1, 0}), 3.0f);
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  const Tensor t = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at({2, 1}), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  const Tensor a = Tensor::from_vector({1, 2, 3});
+  const Tensor b = Tensor::from_vector({10, 20, 30});
+  EXPECT_EQ((a + b)[2], 33.0f);
+  EXPECT_EQ((b - a)[0], 9.0f);
+  EXPECT_EQ((a * b)[1], 40.0f);
+  EXPECT_EQ((a * 2.0f)[2], 6.0f);
+  EXPECT_EQ((2.0f * a)[2], 6.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2, 2});
+  Tensor b({4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t = Tensor::from_vector({-1, 5, 2, -7});
+  EXPECT_FLOAT_EQ(t.sum(), -1.0f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.25f);
+  EXPECT_FLOAT_EQ(t.min(), -7.0f);
+  EXPECT_FLOAT_EQ(t.max(), 5.0f);
+  EXPECT_EQ(t.argmax(), 1u);
+  EXPECT_FLOAT_EQ(t.l2_norm(), std::sqrt(1.0f + 25.0f + 4.0f + 49.0f));
+}
+
+TEST(Tensor, EmptyReductionsThrow) {
+  Tensor t;
+  EXPECT_THROW(t.min(), std::invalid_argument);
+  EXPECT_THROW(t.max(), std::invalid_argument);
+  EXPECT_THROW(t.argmax(), std::invalid_argument);
+  EXPECT_EQ(t.mean(), 0.0f);
+}
+
+TEST(Tensor, ApplyTransformsEveryElement) {
+  Tensor t = Tensor::from_vector({1, 2, 3});
+  t.apply([](float x) { return x * x; });
+  EXPECT_EQ(t[2], 9.0f);
+}
+
+TEST(Tensor, EqualityIsStructural) {
+  const Tensor a = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(a, b);
+  b[0] = 9.0f;
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, a.reshaped({4}));  // same data, different shape
+}
+
+TEST(Tensor, ShapeSizeHelper) {
+  EXPECT_EQ(shape_size({}), 1u);
+  EXPECT_EQ(shape_size({3, 4, 5}), 60u);
+}
+
+TEST(Tensor, ShapeStreamFormat) {
+  // Shape is an alias of std::vector, so ADL will not find the inserter;
+  // call it qualified as library code does.
+  std::ostringstream os;
+  omniboost::tensor::operator<<(os, Shape{3, 11, 37});
+  EXPECT_EQ(os.str(), "[3, 11, 37]");
+}
+
+// Property: (a + b) - b == a for random tensors.
+class TensorAlgebraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TensorAlgebraProperty, AddSubRoundTrip) {
+  omniboost::util::Rng rng(GetParam());
+  Tensor a({3, 5, 2}), b({3, 5, 2});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.uniform(-10, 10));
+    b[i] = static_cast<float>(rng.uniform(-10, 10));
+  }
+  const Tensor c = (a + b) - b;
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(c[i], a[i], 1e-4f);
+}
+
+TEST_P(TensorAlgebraProperty, ScalarDistributes) {
+  omniboost::util::Rng rng(GetParam() ^ 0xabcd);
+  Tensor a({4, 4});
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<float>(rng.uniform(-5, 5));
+  const Tensor lhs = a * 3.0f;
+  const Tensor rhs = a + a + a;
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorAlgebraProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace

@@ -1,0 +1,237 @@
+// Unit tests for util: deterministic RNG, statistics, affine preprocessing,
+// table/CSV emission.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using omniboost::util::Affine1D;
+using omniboost::util::Rng;
+using omniboost::util::RunningStats;
+using omniboost::util::Table;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto x0 = a();
+  const auto x1 = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), x0);
+  EXPECT_EQ(a(), x1);
+}
+
+TEST(Rng, UniformWithinUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(4);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = r.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng r(6);
+  EXPECT_THROW(r.below(0), std::invalid_argument);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(r.range(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng r(9);
+  double sum = 0.0, sq = 0.0;
+  constexpr int n = 40'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng r(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, PickThrowsOnEmpty) {
+  Rng r(12);
+  std::vector<int> empty;
+  EXPECT_THROW(r.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(13);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), omniboost::util::mean(xs));
+  EXPECT_NEAR(s.stddev(), omniboost::util::stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  RunningStats a, b, all;
+  Rng r(14);
+  for (int i = 0; i < 100; ++i) {
+    const double x = r.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  EXPECT_NEAR(omniboost::util::geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+  EXPECT_THROW(omniboost::util::geomean({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(omniboost::util::percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(omniboost::util::percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(omniboost::util::percentile(v, 50), 25.0);
+  EXPECT_THROW(omniboost::util::percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(omniboost::util::percentile(v, 101), std::invalid_argument);
+}
+
+TEST(Affine, ApplyInvertRoundTrip) {
+  const Affine1D t{3.0, 2.0};
+  for (double y : {-5.0, 0.0, 1.0, 42.0}) {
+    EXPECT_NEAR(t.invert(t.apply(y)), y, 1e-12);
+  }
+}
+
+TEST(Affine, CompositionMatchesSequentialApplication) {
+  const Affine1D first{1.0, 4.0};
+  const Affine1D second{-0.5, 2.0};
+  const Affine1D composed = first.then(second);
+  for (double y : {-3.0, 0.0, 2.5, 10.0}) {
+    EXPECT_NEAR(composed.apply(y), second.apply(first.apply(y)), 1e-12);
+  }
+}
+
+TEST(Affine, StandardizerProducesZeroMeanUnitStd) {
+  Rng r(15);
+  std::vector<double> v;
+  for (int i = 0; i < 1'000; ++i) v.push_back(r.normal(7.0, 3.0));
+  const Affine1D t = omniboost::util::fit_standardizer(v);
+  std::vector<double> z;
+  for (double y : v) z.push_back(t.apply(y));
+  EXPECT_NEAR(omniboost::util::mean(z), 0.0, 1e-9);
+  EXPECT_NEAR(omniboost::util::stddev(z), 1.0, 1e-9);
+}
+
+TEST(Affine, MinMaxMapsToUnitInterval) {
+  const std::vector<double> v{2.0, 6.0, 10.0};
+  const Affine1D t = omniboost::util::fit_minmax(v);
+  EXPECT_DOUBLE_EQ(t.apply(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.apply(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.apply(6.0), 0.5);
+}
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.5}, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(omniboost::util::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(omniboost::util::fmt(2.0, 0), "2");
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Workload and mix generation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace omniboost::workload;
+using omniboost::models::kNumModels;
+using omniboost::models::ModelId;
+using omniboost::models::ModelZoo;
+using omniboost::util::Rng;
+
+const ModelZoo& zoo() {
+  static const ModelZoo z;
+  return z;
+}
+
+TEST(Workload, ResolveReturnsBorrowedNetworks) {
+  const Workload w{{ModelId::kAlexNet, ModelId::kVgg19}};
+  const auto nets = w.resolve(zoo());
+  ASSERT_EQ(nets.size(), 2u);
+  EXPECT_EQ(nets[0], &zoo().network(ModelId::kAlexNet));
+  EXPECT_EQ(nets[1], &zoo().network(ModelId::kVgg19));
+}
+
+TEST(Workload, LayerCounts) {
+  const Workload w{{ModelId::kAlexNet, ModelId::kMobileNet}};
+  const auto counts = w.layer_counts(zoo());
+  EXPECT_EQ(counts,
+            (std::vector<std::size_t>{
+                zoo().network(ModelId::kAlexNet).num_layers(),
+                zoo().network(ModelId::kMobileNet).num_layers()}));
+}
+
+TEST(Workload, DescribeJoinsNames) {
+  const Workload w{{ModelId::kVgg13, ModelId::kSqueezeNet}};
+  EXPECT_EQ(w.describe(), "VGG-13+SqueezeNet");
+}
+
+TEST(Workload, ResolveEmptyThrows) {
+  EXPECT_THROW(Workload{}.resolve(zoo()), std::invalid_argument);
+}
+
+TEST(RandomMix, ProducesDistinctModels) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t n = 1 + rng.below(5);
+    const Workload w = random_mix(rng, n);
+    EXPECT_EQ(w.size(), n);
+    std::set<ModelId> unique(w.mix.begin(), w.mix.end());
+    EXPECT_EQ(unique.size(), n);
+  }
+}
+
+TEST(RandomMix, BoundsChecked) {
+  Rng rng(2);
+  EXPECT_THROW(random_mix(rng, 0), std::invalid_argument);
+  EXPECT_THROW(random_mix(rng, kNumModels + 1), std::invalid_argument);
+  EXPECT_EQ(random_mix(rng, kNumModels).size(), kNumModels);
+}
+
+TEST(RandomMix, EveryModelEventuallyAppears) {
+  Rng rng(3);
+  std::set<ModelId> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (ModelId id : random_mix(rng, 3).mix) seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), kNumModels);
+}
+
+TEST(RandomMix, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(random_mix(a, 4).mix, random_mix(b, 4).mix);
+}
+
+TEST(RandomMapping, MatchesWorkloadArity) {
+  Rng rng(4);
+  const Workload w = random_mix(rng, 4);
+  const auto m = random_mapping(rng, zoo(), w, 3);
+  EXPECT_EQ(m.num_dnns(), 4u);
+  const auto counts = w.layer_counts(zoo());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.assignment(i).size(), counts[i]);
+    EXPECT_LE(m.stages(i), 3u);
+  }
+}
+
+TEST(RandomAssignment, SingleLayerIsOneStage) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const auto a = random_assignment(rng, 1, 3);
+    EXPECT_EQ(a.size(), 1u);
+  }
+}
+
+TEST(RandomAssignment, InvalidArgsThrow) {
+  Rng rng(6);
+  EXPECT_THROW(random_assignment(rng, 0, 3), std::invalid_argument);
+  EXPECT_THROW(random_assignment(rng, 5, 0), std::invalid_argument);
+}
+
+TEST(RandomAssignment, UsesAllComponentsEventually) {
+  Rng rng(7);
+  std::set<omniboost::sim::ComponentId> seen;
+  for (int i = 0; i < 100; ++i)
+    for (auto c : random_assignment(rng, 10, 3)) seen.insert(c);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(TwoWaySplit, InvalidArgsThrow) {
+  Rng rng(8);
+  EXPECT_THROW(random_two_way_split(rng, 0, omniboost::sim::ComponentId::kGpu,
+                                    omniboost::sim::ComponentId::kBigCpu),
+               std::invalid_argument);
+}
+
+}  // namespace

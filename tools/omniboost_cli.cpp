@@ -1,0 +1,325 @@
+/// \file omniboost_cli.cpp
+/// End-to-end command-line front end for the framework: profiles the
+/// (simulated) board, trains or loads the throughput estimator, schedules a
+/// user-specified multi-DNN mix with a chosen scheduler, and reports the
+/// mapping plus the board-measured throughput — in text or JSON.
+///
+/// Examples:
+///   omniboost_cli --mix VGG-19,AlexNet,MobileNet
+///   omniboost_cli --mix vgg16,resnet50,alexnet,mobilenet --scheduler ga
+///   omniboost_cli --mix alexnet --save-estimator est.bin
+///   omniboost_cli --mix alexnet --estimator-file est.bin --json
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "device/profile.hpp"
+#include "core/omniboost.hpp"
+#include "nn/loss.hpp"
+#include "sched/baseline.hpp"
+#include "sched/ga.hpp"
+#include "sched/greedy.hpp"
+#include "sched/local_search.hpp"
+#include "sched/mosaic.hpp"
+#include "sched/search_common.hpp"
+#include "sim/des.hpp"
+#include "sim/gantt.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace omniboost;
+
+workload::Workload parse_mix(const std::string& csv) {
+  workload::Workload w;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    models::ModelId id;
+    if (!models::parse_model_name(token, id)) {
+      std::string known;
+      for (const auto m : models::kAllModels) {
+        if (!known.empty()) known += ", ";
+        known += std::string(models::model_name(m));
+      }
+      throw std::invalid_argument("unknown model '" + token +
+                                  "'; known models: " + known);
+    }
+    w.mix.push_back(id);
+  }
+  if (w.mix.empty()) throw std::invalid_argument("--mix is empty");
+  return w;
+}
+
+std::unique_ptr<core::IScheduler> make_scheduler(
+    const std::string& kind, const models::ModelZoo& zoo,
+    const device::DeviceSpec& device, const core::EmbeddingTensor& embedding,
+    std::shared_ptr<const core::ThroughputEstimator> estimator,
+    std::size_t budget, std::size_t depth, std::uint64_t seed) {
+  if (kind == "omniboost") {
+    core::OmniBoostConfig cfg;
+    cfg.mcts.budget = budget;
+    cfg.mcts.max_depth = depth;
+    cfg.mcts.seed = seed;
+    return std::make_unique<core::OmniBoostScheduler>(zoo, embedding,
+                                                      std::move(estimator),
+                                                      cfg);
+  }
+  if (kind == "baseline") {
+    return std::make_unique<sched::AllOnScheduler>(
+        zoo, device::ComponentId::kGpu, "Baseline");
+  }
+  if (kind == "mosaic") {
+    return std::make_unique<sched::MosaicScheduler>(zoo, device);
+  }
+  if (kind == "ga") {
+    sched::GaConfig cfg;
+    cfg.seed = seed;
+    return std::make_unique<sched::GaScheduler>(zoo, device, cfg);
+  }
+  if (kind == "greedy") {
+    return std::make_unique<sched::GreedyScheduler>(zoo, device);
+  }
+  if (kind == "random") {
+    sched::LocalSearchConfig cfg;
+    cfg.budget = budget;
+    cfg.seed = seed;
+    return std::make_unique<sched::RandomSearchScheduler>(
+        "RandomSearch", zoo,
+        sched::estimator_evaluator_factory(zoo, embedding,
+                                           std::move(estimator)),
+        cfg);
+  }
+  if (kind == "annealing") {
+    sched::AnnealingConfig cfg;
+    cfg.budget = budget;
+    cfg.seed = seed;
+    return std::make_unique<sched::SimulatedAnnealingScheduler>(
+        "Annealing", zoo,
+        sched::estimator_evaluator_factory(zoo, embedding,
+                                           std::move(estimator)),
+        cfg);
+  }
+  throw std::invalid_argument(
+      "unknown scheduler '" + kind +
+      "' (omniboost|baseline|mosaic|ga|greedy|random|annealing)");
+}
+
+int run(int argc, char** argv) {
+  util::ArgParser args(
+      "omniboost_cli",
+      "schedule a multi-DNN mix on the simulated HiKey970 and report "
+      "throughput");
+  args.option("mix", "comma-separated DNN list, e.g. VGG-19,AlexNet,MobileNet")
+      .option("scheduler",
+              "omniboost|baseline|mosaic|ga|greedy|random|annealing",
+              "omniboost")
+      .option("budget", "search budget (estimator queries)", "500")
+      .option("depth", "MCTS tree-expansion depth limit", "100")
+      .option("samples", "estimator training workloads", "500")
+      .option("epochs", "estimator training epochs", "100")
+      .option("seed", "master seed", "1")
+      .option("estimator-file", "load a trained estimator instead of training")
+      .option("save-estimator", "write the trained estimator to this path")
+      .option("device-file", "board profile (INI) instead of the built-in HiKey970")
+      .option("save-device-profile", "write the active board profile and exit")
+      .flag("json", "emit a machine-readable JSON report")
+      .flag("trace", "include per-component utilization in the report")
+      .flag("gantt", "render an ASCII execution timeline (text mode only)");
+  if (!args.parse(argc, argv)) return 0;
+
+  const workload::Workload w = parse_mix(args.get("mix"));
+  const std::string scheduler_kind = args.get("scheduler");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const bool as_json = args.get_flag("json");
+  const bool with_trace = args.get_flag("trace");
+  const bool with_gantt = args.get_flag("gantt");
+
+  // --- Substrate: board model, zoo, kernel profiling (embedding tensor).
+  const device::DeviceSpec device =
+      args.has("device-file")
+          ? device::load_profile_file(args.get("device-file"))
+          : device::make_hikey970();
+  if (args.has("save-device-profile")) {
+    const std::string path = args.get("save-device-profile");
+    device::save_profile_file(device, path);
+    std::printf("wrote device profile for '%s' to %s\n", device.name.c_str(),
+                path.c_str());
+    return 0;
+  }
+  const models::ModelZoo zoo;
+  const device::CostModel cost(device);
+  const core::EmbeddingTensor embedding(zoo, cost);
+  const sim::DesSimulator board(device);
+
+  // --- Design time: train or load the estimator (model-driven schedulers).
+  std::shared_ptr<const core::ThroughputEstimator> estimator;
+  const bool needs_estimator = scheduler_kind == "omniboost" ||
+                               scheduler_kind == "random" ||
+                               scheduler_kind == "annealing";
+  if (needs_estimator) {
+    if (args.has("estimator-file")) {
+      const std::string est_path = args.get("estimator-file");
+      estimator = std::make_shared<const core::ThroughputEstimator>(
+          core::ThroughputEstimator::load_file(est_path));
+      if (!as_json)
+        std::printf("loaded estimator from %s\n", est_path.c_str());
+    } else {
+      if (!as_json)
+        std::printf("training estimator (%lld workloads, %lld epochs)...\n",
+                    static_cast<long long>(args.get_int("samples")),
+                    static_cast<long long>(args.get_int("epochs")));
+      core::DatasetConfig dc;
+      dc.samples = static_cast<std::size_t>(args.get_int("samples"));
+      dc.seed = seed + 41;
+      const core::SampleSet data =
+          core::generate_dataset(zoo, embedding, board, dc);
+      auto est = std::make_shared<core::ThroughputEstimator>(
+          embedding.models_dim(), embedding.layers_dim());
+      nn::L1Loss l1;
+      nn::TrainConfig tc;
+      tc.epochs = static_cast<std::size_t>(args.get_int("epochs"));
+      const auto history = est->fit(data, dc.samples / 5, l1, tc);
+      if (!as_json)
+        std::printf("final train loss %.4f, val loss %.4f\n",
+                    history.train_loss.back(), history.val_loss.back());
+      if (args.has("save-estimator")) {
+        const std::string save_path = args.get("save-estimator");
+        est->save_file(save_path);
+        if (!as_json)
+          std::printf("saved estimator to %s\n", save_path.c_str());
+      }
+      estimator = est;
+    }
+  }
+
+  // --- Run time: one scheduling decision plus a board measurement.
+  auto scheduler = make_scheduler(
+      scheduler_kind, zoo, device, embedding, estimator,
+      static_cast<std::size_t>(args.get_int("budget")),
+      static_cast<std::size_t>(args.get_int("depth")), seed);
+  const core::ScheduleResult result = scheduler->schedule(w);
+
+  const auto nets = w.resolve(zoo);
+  const auto traced = board.simulate_traced(nets, result.mapping, with_gantt);
+  const sim::ThroughputReport& measured = traced.report;
+
+  // Baseline comparison: everything on the GPU.
+  const sim::Mapping all_gpu = sim::Mapping::all_on(
+      w.layer_counts(zoo), device::ComponentId::kGpu);
+  const double baseline_t = board.simulate(nets, all_gpu).avg_throughput;
+
+  if (as_json) {
+    util::Json out = util::Json::object();
+    out.set("mix", util::Json::string(w.describe()));
+    out.set("scheduler", util::Json::string(scheduler->name()));
+    out.set("feasible", util::Json::boolean(measured.feasible));
+    out.set("avg_throughput_inf_s", util::Json::number(measured.avg_throughput));
+    out.set("baseline_gpu_inf_s", util::Json::number(baseline_t));
+    out.set("speedup_vs_baseline",
+            util::Json::number(baseline_t > 0.0
+                                   ? measured.avg_throughput / baseline_t
+                                   : 0.0));
+    out.set("decision_seconds", util::Json::number(result.decision_seconds));
+    out.set("evaluations", util::Json::number(result.evaluations));
+    util::Json dnns = util::Json::array();
+    for (std::size_t d = 0; d < w.size(); ++d) {
+      util::Json j = util::Json::object();
+      j.set("model", util::Json::string(std::string(
+                         models::model_name(w.mix[d]))));
+      j.set("rate_inf_s", util::Json::number(measured.per_dnn_rate[d]));
+      util::Json segs = util::Json::array();
+      for (const auto& seg : sim::extract_segments(result.mapping.assignment(d))) {
+        util::Json sj = util::Json::object();
+        sj.set("layers", util::Json::string(std::to_string(seg.first) + "-" +
+                                            std::to_string(seg.last)));
+        sj.set("component", util::Json::string(std::string(
+                                device::component_name(seg.comp))));
+        segs.push_back(std::move(sj));
+      }
+      j.set("pipeline", std::move(segs));
+      dnns.push_back(std::move(j));
+    }
+    out.set("dnns", std::move(dnns));
+    if (with_trace) {
+      util::Json comps = util::Json::array();
+      for (const auto c : device::kAllComponents) {
+        const auto& cu = traced.trace.components[device::component_index(c)];
+        util::Json cj = util::Json::object();
+        cj.set("component", util::Json::string(std::string(
+                                device::component_name(c))));
+        cj.set("utilization", util::Json::number(cu.utilization()));
+        cj.set("max_queue_depth", util::Json::number(cu.max_queue_depth));
+        comps.push_back(std::move(cj));
+      }
+      out.set("utilization", std::move(comps));
+    }
+    std::printf("%s\n", out.dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("\nmix: %s | scheduler: %s\n", w.describe().c_str(),
+              scheduler->name().c_str());
+  std::printf("decision: %.3f s (%zu evaluator queries)\n",
+              result.decision_seconds, result.evaluations);
+  if (!measured.feasible) {
+    std::printf("RESULT: workload exceeds board memory (unresponsive)\n");
+    return 1;
+  }
+
+  util::Table table({"DNN", "pipeline (layers -> component)", "inf/s"});
+  for (std::size_t d = 0; d < w.size(); ++d) {
+    std::string pipeline;
+    for (const auto& seg : sim::extract_segments(result.mapping.assignment(d))) {
+      if (!pipeline.empty()) pipeline += " | ";
+      pipeline += std::to_string(seg.first) + "-" + std::to_string(seg.last) +
+                  " -> " + std::string(device::component_name(seg.comp));
+    }
+    table.add_row({std::string(models::model_name(w.mix[d])), pipeline,
+                   util::fmt(measured.per_dnn_rate[d], 2)});
+  }
+  table.print(std::cout);
+
+  std::printf("\naverage throughput T: %.3f inf/s (baseline all-on-GPU: %.3f, "
+              "speedup x%.2f)\n",
+              measured.avg_throughput, baseline_t,
+              baseline_t > 0.0 ? measured.avg_throughput / baseline_t : 0.0);
+  if (with_trace) {
+    util::Table ut({"component", "utilization", "max queue"});
+    for (const auto c : device::kAllComponents) {
+      const auto& cu = traced.trace.components[device::component_index(c)];
+      ut.add_row({std::string(device::component_name(c)),
+                  util::fmt(100.0 * cu.utilization(), 1) + "%",
+                  std::to_string(cu.max_queue_depth)});
+    }
+    ut.print(std::cout);
+  }
+  if (with_gantt) {
+    std::printf("\nexecution timeline (one glyph per stream, '.' = idle):\n%s",
+                sim::render_gantt(traced.trace).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n(use --help for usage)\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  }
+}
