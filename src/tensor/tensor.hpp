@@ -96,7 +96,10 @@ class Tensor {
   float l2_norm() const;
 
   /// True iff shapes and all elements are exactly equal.
-  bool operator==(const Tensor& rhs) const = default;
+  bool operator==(const Tensor& rhs) const {
+    return shape_ == rhs.shape_ && data_ == rhs.data_;
+  }
+  bool operator!=(const Tensor& rhs) const { return !(*this == rhs); }
 
  private:
   void check_same_shape(const Tensor& rhs, const char* op) const;
