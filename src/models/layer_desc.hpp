@@ -18,7 +18,10 @@ struct Dims {
   std::size_t count() const { return c * h * w; }
   /// Size in bytes assuming fp32 activations (ARM-CL default precision).
   double bytes() const { return 4.0 * static_cast<double>(count()); }
-  bool operator==(const Dims&) const = default;
+  bool operator==(const Dims& rhs) const {
+    return c == rhs.c && h == rhs.h && w == rhs.w;
+  }
+  bool operator!=(const Dims& rhs) const { return !(*this == rhs); }
 };
 
 /// The kernel types an ARM-CL-style backend launches for one layer.
