@@ -53,7 +53,8 @@ class Mapping {
   /// True iff every DNN has at most \p limit stages (paper: limit = 3).
   bool within_stage_limit(std::size_t limit) const;
 
-  bool operator==(const Mapping&) const = default;
+  bool operator==(const Mapping& rhs) const { return per_dnn_ == rhs.per_dnn_; }
+  bool operator!=(const Mapping& rhs) const { return !(*this == rhs); }
 
  private:
   std::vector<Assignment> per_dnn_;
