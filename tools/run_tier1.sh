@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure + build + ctest, fail-fast.
+# CI and humans run this identical path; it is the scripted form of
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+# Run from anywhere; the repo root is derived from this script's location.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${OMNIBOOST_BUILD_DIR:-$root/build}"
+jobs="${OMNIBOOST_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== configure =="
+cmake -B "$build_dir" -S "$root"
+
+echo "== build ($jobs jobs) =="
+cmake --build "$build_dir" -j "$jobs"
+
+echo "== ctest =="
+cd "$build_dir"
+ctest --output-on-failure -j "$jobs"
+
+echo "== tier-1 PASS =="
