@@ -43,7 +43,7 @@ int main() {
     t.add_row(std::to_string(budget),
               {norm / 3.0, ms / 3.0, static_cast<double>(evals) / 3.0}, 2);
   }
-  t.print(std::cout);
+  bench::report("ablation_budget", t);
 
   std::printf("\npaper check: quality saturates around the paper's default "
               "budget of 500 while latency keeps growing linearly\n");

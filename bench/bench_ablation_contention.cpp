@@ -90,7 +90,7 @@ int main() {
     t1.add_row({std::move(label),
                 "x" + util::fmt(speedup_on_device(d, mixes, kSeed + 1), 2)});
   }
-  t1.print(std::cout);
+  bench::report("ablation_contention_gpu", t1);
 
   std::printf("\n--- shared-DRAM bandwidth sweep ---\n");
   util::Table t2({"dram bw (GB/s)", "avg speedup"});
@@ -102,7 +102,7 @@ int main() {
     t2.add_row({std::move(label),
                 "x" + util::fmt(speedup_on_device(d, mixes, kSeed + 2), 2)});
   }
-  t2.print(std::cout);
+  bench::report("ablation_contention_dram", t2);
 
   std::printf("\npaper check: the headline gain is driven by GPU "
               "contention — speedup grows monotonically-ish with the "

@@ -96,7 +96,7 @@ int main() {
       },
       "ground truth (not deployable)");
 
-  t.print(std::cout);
+  bench::report("ablation_estimator", t);
   std::printf("\npaper check: the oracles bound what a perfect estimator "
               "would achieve; the CNN tracks their ranking but pays a "
               "sample-efficiency gap (the cost of learning the board), while "

@@ -57,7 +57,7 @@ int main() {
                                         kSeed),
                              3)});
   }
-  sweep.print(std::cout);
+  bench::report("ablation_exploration_sweep", sweep);
 
   std::printf("\n--- decision extraction strategies (c = sqrt(2)) ---\n");
   util::Table ext({"extraction", "avg normalized T"});
@@ -73,7 +73,7 @@ int main() {
                util::fmt(run_config(ctx, mixes, 1.4142,
                                     core::MctsExtraction::kEliteNode, kSeed),
                          3)});
-  ext.print(std::cout);
+  bench::report("ablation_exploration_extraction", ext);
 
   std::printf("\npaper check: quality is flat across a wide exploration "
               "band (normalized rewards) and the paper's global-argmax "

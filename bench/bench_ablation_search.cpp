@@ -82,7 +82,7 @@ int main() {
 
   std::printf("--- 4-DNN mixes, %zu estimator queries per informed search "
               "(normalized to all-on-GPU) ---\n", kBudget);
-  t.print(std::cout);
+  bench::report("ablation_search", t);
 
   std::printf("\npaper check: informed searches beat the zero-query greedy; "
               "MCTS is at least competitive with budget-matched local "

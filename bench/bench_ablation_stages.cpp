@@ -53,7 +53,7 @@ int main() {
     t.add_row(limit >= 64 ? "unlimited" : std::to_string(limit),
               {norm / 3.0, transfers / 3.0, stages / 3.0}, 2);
   }
-  t.print(std::cout);
+  bench::report("ablation_stages", t);
 
   std::printf("\npaper check: x = 3 (the component count) captures the gains; "
               "lifting the limit multiplies pipeline transfers without a "

@@ -55,7 +55,7 @@ int main() {
     for (double v : h.val_loss) best = std::min(best, v);
     t.add_row(c.name, {h.train_loss.back(), h.val_loss.back(), best}, 4);
   }
-  t.print(std::cout);
+  bench::report("ablation_training", t);
 
   std::printf("\nnote: L1 and L2 rows are on different loss scales; compare "
               "within a loss, and compare activations across rows.\n");

@@ -5,6 +5,7 @@
 /// throughput estimator with the paper's design-time settings (500 random
 /// workloads, 400/100 split, L1 loss, 100 epochs).
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include "sched/ga.hpp"
 #include "sched/mosaic.hpp"
 #include "sim/analytic.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
 
@@ -102,6 +104,57 @@ class Context {
   std::shared_ptr<const core::ThroughputEstimator> estimator_;
   nn::TrainHistory history_;
 };
+
+/// Machine-readable export: writes \p t as `BENCH_<name>.json` under
+/// `$OMNIBOOST_BENCH_JSON_DIR`. A no-op when the variable is unset, so
+/// default runs stay text-only. Cells that parse fully as numbers are
+/// emitted as JSON numbers; everything else as strings.
+inline void emit_json(const std::string& name, const util::Table& t) {
+  const char* dir = std::getenv("OMNIBOOST_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  util::Json rows = util::Json::array();
+  for (const auto& row : t.data()) {
+    util::Json obj = util::Json::object();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::string& cell = row[i];
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      // Json::number rejects non-finite values; "inf"/"nan" cells stay strings.
+      if (!cell.empty() && end == cell.c_str() + cell.size() &&
+          std::isfinite(v)) {
+        obj.set(t.header()[i], util::Json::number(v));
+      } else {
+        obj.set(t.header()[i], util::Json::string(cell));
+      }
+    }
+    rows.push_back(std::move(obj));
+  }
+  util::Json doc = util::Json::object();
+  doc.set("bench", util::Json::string(name));
+  doc.set("columns", [&t] {
+    util::Json cols = util::Json::array();
+    for (const auto& h : t.header()) cols.push_back(util::Json::string(h));
+    return cols;
+  }());
+  doc.set("rows", std::move(rows));
+  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  out << doc.dump(2) << '\n';
+  out.flush();
+  if (out) {
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[bench] FAILED to write %s\n", path.c_str());
+  }
+}
+
+/// The standard way to publish a result table: prints it to stdout AND
+/// exports it as JSON (when enabled). Use this instead of a bare
+/// Table::print so no table can silently miss the machine-readable export.
+inline void report(const std::string& name, const util::Table& t) {
+  t.print(std::cout);
+  emit_json(name, t);
+}
 
 /// Prints a standard experiment banner.
 inline void banner(const char* experiment, const char* paper_ref,

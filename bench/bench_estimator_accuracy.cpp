@@ -146,7 +146,7 @@ int main() {
              util::fmt(spearman(truth, cnn), 3)});
   t.add_row({"linear probe (MOSAIC-style)", util::fmt(mape(lin), 1) + "%",
              util::fmt(spearman(truth, lin), 3)});
-  t.print(std::cout);
+  bench::report("estimator_accuracy", t);
 
   std::printf("\n%zu held-out workloads (mixes of 1-5 DNNs, random "
               "stage-limited mappings)\n", held_out.size());

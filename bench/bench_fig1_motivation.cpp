@@ -80,7 +80,7 @@ int main() {
   t.add_row("max (paper: ~1.6)", {sorted.back()}, 2);
   t.add_row("fraction above baseline", {above}, 2);
   std::printf("\n");
-  t.print(std::cout);
+  bench::report("fig1_motivation", t);
 
   std::printf("\npaper check: best random split beats all-on-GPU by %.0f%% "
               "(paper reports up to 60%%)\n",

@@ -38,7 +38,7 @@ int main() {
     if (e % 5 != 0 && e + 1 != h.train_loss.size()) continue;  // readable
     t.add_row(std::to_string(e + 1), {h.train_loss[e], h.val_loss[e]}, 4);
   }
-  t.print(std::cout);
+  bench::report("fig4_estimator_training", t);
 
   std::printf("\nfinal: train=%.4f val=%.4f | training wall-clock: %.1fs "
               "(paper: under a minute on a GTX 1660 Ti)\n",

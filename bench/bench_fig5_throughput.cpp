@@ -51,7 +51,7 @@ void run_mix_size(bench::Context& ctx, std::size_t mix_size,
   std::printf("--- Fig. 5%c: five random mixes of %zu concurrent DNNs "
               "(normalized to all-on-GPU) ---\n",
               static_cast<char>('a' + (mix_size - 3)), mix_size);
-  t.print(std::cout);
+  bench::report("fig5_throughput_mix" + std::to_string(mix_size), t);
   std::printf("OmniBoost vs baseline: x%.2f | vs MOSAIC: x%.2f | vs GA: "
               "%+.0f%%\n\n",
               sums[3] / sums[0], sums[3] / sums[1],

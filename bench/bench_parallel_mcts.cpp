@@ -53,7 +53,7 @@ int main() {
                util::fmt(quality / static_cast<double>(mixes.size()), 2),
                std::to_string(queries)});
   }
-  t.print(std::cout);
+  bench::report("parallel_mcts", t);
 
   if (cores > 1) {
     std::printf("\npaper check: latency shrinks roughly with the worker "

@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
   t.add_row({"OmniBoost", "CNN estimator",
              "500 estimator queries per mix (paper: ~30 s)",
              std::to_string(ro.evaluations)});
-  t.print(std::cout);
+  bench::report("runtime_overhead", t);
   std::printf("\nmicro-benchmarks (decision latency on this machine):\n");
 
   benchmark::Initialize(&argc, argv);

@@ -48,7 +48,7 @@ int main() {
                std::to_string(r.evaluations), util::fmt(r.decision_seconds, 3),
                "x" + util::fmt(got / tb, 2)});
   }
-  t.print(std::cout);
+  bench::report("scalability", t);
 
   // The 6-DNN boundary: the paper reports the board becoming unresponsive.
   util::Rng rng6(kSeed + 6);

@@ -65,7 +65,7 @@ int main() {
     report_scheduler(ctx, w, "GA", ga.schedule(w).mapping, t, tb);
     report_scheduler(ctx, w, "Greedy", greedy.schedule(w).mapping, t, tb);
     report_scheduler(ctx, w, "OmniBoost", omni.schedule(w).mapping, t, tb);
-    t.print(std::cout);
+    bench::report("utilization_mix" + std::to_string(mix), t);
     std::printf("\n");
   }
 

@@ -30,6 +30,9 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
   /// Writes an aligned, boxed text table.
   void print(std::ostream& os) const;
 
