@@ -26,15 +26,16 @@ double speedup_on_device(const device::DeviceSpec& device,
   const sim::DesSimulator board(device);
 
   core::DatasetConfig dc;
-  dc.samples = 250;  // lighter than the paper's 500: this runs 6 times
+  // Lighter than the paper's 500 samples: this trains once per swept device.
+  dc.samples = bench::scaled(250, 40);
   dc.seed = seed;
   const core::SampleSet data = core::generate_dataset(zoo, embedding, board, dc);
   auto est = std::make_shared<core::ThroughputEstimator>(
       embedding.models_dim(), embedding.layers_dim());
   nn::L1Loss l1;
   nn::TrainConfig tc;
-  tc.epochs = 60;
-  est->fit(data, 50, l1, tc);
+  tc.epochs = bench::scaled(60, 3);
+  est->fit(data, bench::scaled(50, 10), l1, tc);
 
   core::OmniBoostScheduler omni(zoo, embedding, est);
   double sum = 0.0;

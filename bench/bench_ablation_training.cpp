@@ -19,7 +19,7 @@ int main() {
   // Reduced campaign (300 samples, 60 epochs) so four trainings stay fast;
   // relative ordering is what matters here.
   core::DatasetConfig dc;
-  dc.samples = 300;
+  dc.samples = bench::scaled(300, 60);
   dc.seed = kSeed;
   const core::SampleSet data =
       core::generate_dataset(ctx.zoo(), ctx.embedding(), ctx.board(), dc);
@@ -47,10 +47,10 @@ int main() {
     core::ThroughputEstimator est(ctx.embedding().models_dim(),
                                   ctx.embedding().layers_dim(), ec);
     nn::TrainConfig tc;
-    tc.epochs = 60;
+    tc.epochs = bench::scaled(60, 3);
     const nn::Loss& loss = c.use_l1 ? static_cast<const nn::Loss&>(l1)
                                     : static_cast<const nn::Loss&>(l2);
-    const nn::TrainHistory h = est.fit(data, 60, loss, tc);
+    const nn::TrainHistory h = est.fit(data, bench::scaled(60, 15), loss, tc);
     double best = h.val_loss.front();
     for (double v : h.val_loss) best = std::min(best, v);
     t.add_row(c.name, {h.train_loss.back(), h.val_loss.back(), best}, 4);

@@ -25,6 +25,20 @@
 
 namespace omniboost::bench {
 
+/// True when OMNIBOOST_BENCH_SMOKE is set non-empty (tools/run_tier1.sh
+/// --bench-smoke): drivers shrink their campaigns to a seconds-not-minutes
+/// budget whose only job is to prove every driver still builds, runs end to
+/// end, and emits its tables. Smoke numbers are NOT paper reproductions.
+inline bool smoke() {
+  const char* s = std::getenv("OMNIBOOST_BENCH_SMOKE");
+  return s != nullptr && *s != '\0';
+}
+
+/// Campaign knob: \p full for real runs, \p tiny under --bench-smoke.
+inline std::size_t scaled(std::size_t full, std::size_t tiny) {
+  return smoke() ? tiny : full;
+}
+
 /// Everything an experiment needs, built once per binary.
 class Context {
  public:
@@ -60,9 +74,22 @@ class Context {
     // loss history.
     const bool default_campaign =
         samples == 1500 && val_count == 300 && epochs == 100 && seed == 42;
-    const char* cache = std::getenv("OMNIBOOST_ESTIMATOR_CACHE");
-    if (cache != nullptr && default_campaign) {
-      std::ifstream probe(cache, std::ios::binary);
+    if (default_campaign && smoke()) {
+      // Tiny throwaway campaign.
+      samples = 80;
+      val_count = 20;
+      epochs = 3;
+    }
+    const char* cache_env = std::getenv("OMNIBOOST_ESTIMATOR_CACHE");
+    std::string cache_path = cache_env != nullptr ? cache_env : "";
+    // Smoke weights are cached (so one --bench-smoke training serves all 15
+    // drivers) but under a distinct file: the cache carries no campaign
+    // fingerprint, so a throwaway 80-sample model must never be written to —
+    // or silently loaded from — the real campaign's path.
+    if (smoke() && !cache_path.empty()) cache_path += ".smoke";
+    const bool use_cache = !cache_path.empty() && default_campaign;
+    if (use_cache) {
+      std::ifstream probe(cache_path, std::ios::binary);
       if (probe) {
         estimator_ = std::make_shared<const core::ThroughputEstimator>(
             core::ThroughputEstimator::load(probe));
@@ -80,7 +107,7 @@ class Context {
     nn::TrainConfig tc;
     tc.epochs = epochs;
     history_ = est->fit(data, val_count, l1, tc);
-    if (cache != nullptr && default_campaign) est->save_file(cache);
+    if (use_cache) est->save_file(cache_path);
     estimator_ = est;
     return history_;
   }

@@ -28,7 +28,9 @@ int main() {
               "L1 loss, Adam, 100 epochs\n\n");
 
   const auto start = std::chrono::steady_clock::now();
-  const nn::TrainHistory h = ctx.train_estimator(500, 100, 100, kSeed);
+  const nn::TrainHistory h =
+      ctx.train_estimator(bench::scaled(500, 80), bench::scaled(100, 20),
+                          bench::scaled(100, 3), kSeed);
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -26,32 +26,48 @@ int main() {
 
   util::Rng rng(kSeed);
   std::vector<workload::Workload> mixes;
-  for (int i = 0; i < 3; ++i) mixes.push_back(workload::random_mix(rng, 4));
+  const std::size_t n_mixes = bench::scaled(3, 1);
+  for (std::size_t i = 0; i < n_mixes; ++i)
+    mixes.push_back(workload::random_mix(rng, 4));
+  const std::size_t budget = bench::scaled(500, 40);
 
-  util::Table t({"workers", "avg decision (ms)", "avg normalized T",
-                 "queries"});
+  // Two orthogonal latency dials at one fixed rollout budget: root-parallel
+  // workers (row pairs) and the batched+memoized evaluate path (the
+  // batch/cached-vs-scalar/uncached column pairs). "evals" counts CNN
+  // forward passes actually executed and "hits" the rollouts served from
+  // the per-worker evaluation memo, both summed over the mixes
+  // (evals + hits == budget x mixes).
+  util::Table t({"workers", "batch", "cache", "avg decision (ms)",
+                 "avg normalized T", "evals", "hits"});
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
-    core::OmniBoostConfig cfg;
-    cfg.mcts.budget = 500;
-    cfg.mcts.seed = kSeed;
-    cfg.workers = workers;
-    core::OmniBoostScheduler omni(ctx.zoo(), ctx.embedding(), ctx.estimator(),
-                                  cfg);
-    double latency = 0.0, quality = 0.0;
-    std::size_t queries = 0;
-    for (const auto& w : mixes) {
-      const auto r = omni.schedule(w);
-      latency += r.decision_seconds;
-      queries = r.evaluations;
-      const double tb = ctx.measure(
-          w, sim::Mapping::all_on(w.layer_counts(ctx.zoo()),
-                                  device::ComponentId::kGpu));
-      quality += ctx.measure(w, r.mapping) / tb;
+    for (const bool batched : {false, true}) {
+      core::OmniBoostConfig cfg;
+      cfg.mcts.budget = budget;
+      cfg.mcts.seed = kSeed;
+      cfg.workers = workers;
+      cfg.batch_size = batched ? 16 : 1;
+      cfg.cache = batched;
+      core::OmniBoostScheduler omni(ctx.zoo(), ctx.embedding(),
+                                    ctx.estimator(), cfg);
+      double latency = 0.0, quality = 0.0;
+      std::size_t evals = 0, hits = 0;
+      for (const auto& w : mixes) {
+        const auto r = omni.schedule(w);
+        latency += r.decision_seconds;
+        evals += r.evaluations;
+        hits += r.cache_hits;
+        const double tb = ctx.measure(
+            w, sim::Mapping::all_on(w.layer_counts(ctx.zoo()),
+                                    device::ComponentId::kGpu));
+        quality += ctx.measure(w, r.mapping) / tb;
+      }
+      t.add_row(
+          {std::to_string(workers), std::to_string(cfg.batch_size),
+           cfg.cache ? "on" : "off",
+           util::fmt(1e3 * latency / static_cast<double>(mixes.size()), 1),
+           util::fmt(quality / static_cast<double>(mixes.size()), 2),
+           std::to_string(evals), std::to_string(hits)});
     }
-    t.add_row({std::to_string(workers),
-               util::fmt(1e3 * latency / static_cast<double>(mixes.size()), 1),
-               util::fmt(quality / static_cast<double>(mixes.size()), 2),
-               std::to_string(queries)});
   }
   bench::report("parallel_mcts", t);
 

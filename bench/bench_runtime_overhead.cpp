@@ -12,6 +12,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "bench_common.hpp"
 
 using namespace omniboost;
@@ -64,6 +67,18 @@ void BM_EstimatorQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimatorQuery)->Unit(benchmark::kMicrosecond);
 
+void BM_EstimatorQueryBatch16(benchmark::State& state) {
+  // 16 queries amortized over one batched forward pass; compare the
+  // per-iteration time against 16x BM_EstimatorQuery.
+  auto est = ctx().estimator();
+  const auto counts = mix().layer_counts(ctx().zoo());
+  std::vector<tensor::Tensor> inputs(
+      16, ctx().embedding().masked_input(
+              mix(), sim::Mapping::all_on(counts, device::ComponentId::kGpu)));
+  for (auto _ : state) benchmark::DoNotOptimize(est->predict_rewards(inputs));
+}
+BENCHMARK(BM_EstimatorQueryBatch16)->Unit(benchmark::kMicrosecond);
+
 void BM_BoardMeasurement(benchmark::State& state) {
   // One GA fitness evaluation = one steady-state board simulation.
   const auto nets = mix().resolve(ctx().zoo());
@@ -75,6 +90,32 @@ void BM_BoardMeasurement(benchmark::State& state) {
 BENCHMARK(BM_BoardMeasurement)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+/// Decision latency of one OmniBoost evaluate-path variant: the minimum
+/// over \p repeats decisions at a fixed rollout budget (min, not mean — the
+/// decision is deterministic, so the minimum is the run least disturbed by
+/// background load).
+void add_variant_row(util::Table& t, const char* label, std::size_t batch,
+                     bool cache, std::size_t budget, std::size_t repeats,
+                     double* scalar_ms) {
+  core::OmniBoostConfig cfg;
+  cfg.mcts.budget = budget;
+  cfg.batch_size = batch;
+  cfg.cache = cache;
+  core::OmniBoostScheduler sched(ctx().zoo(), ctx().embedding(),
+                                 ctx().estimator(), cfg);
+  double seconds = std::numeric_limits<double>::infinity();
+  core::ScheduleResult r;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    r = sched.schedule(mix());
+    seconds = std::min(seconds, r.decision_seconds);
+  }
+  const double ms = 1e3 * seconds;
+  if (*scalar_ms == 0.0) *scalar_ms = ms;  // first row is the reference
+  t.add_row({label, std::to_string(batch), cache ? "on" : "off",
+             util::fmt(ms, 1), std::to_string(r.evaluations),
+             std::to_string(r.cache_hits), util::fmt(*scalar_ms / ms, 2)});
+}
 
 int main(int argc, char** argv) {
   bench::banner("Run-time performance evaluation", "Section V-B", 7);
@@ -105,8 +146,32 @@ int main(int argc, char** argv) {
              std::to_string(rg.evaluations)});
   t.add_row({"OmniBoost", "CNN estimator",
              "500 estimator queries per mix (paper: ~30 s)",
-             std::to_string(ro.evaluations)});
+             std::to_string(ro.evaluations + ro.cache_hits)});
   bench::report("runtime_overhead", t);
+
+  // Evaluate-path ablation: the same 500-rollout decision through the
+  // scalar/sequential paper path versus the batched forward
+  // (OmniBoostConfig::batch_size) and the evaluation memo
+  // (OmniBoostConfig::cache). Equal rollout budget everywhere; the decision
+  // differs only where wider waves legitimately explore differently.
+  const std::size_t budget = bench::scaled(500, 40);
+  const std::size_t repeats = bench::scaled(5, 1);
+  std::printf("\nevaluate-path variants (budget %zu, min of %zu decisions):\n",
+              budget, repeats);
+  util::Table bt({"variant", "batch", "cache", "decision (ms)", "evaluations",
+                  "cache hits", "speedup"});
+  double scalar_ms = 0.0;
+  add_variant_row(bt, "scalar (paper path)", 1, false, budget, repeats,
+                  &scalar_ms);
+  add_variant_row(bt, "scalar+cache", 1, true, budget, repeats, &scalar_ms);
+  add_variant_row(bt, "batched", 16, false, budget, repeats, &scalar_ms);
+  add_variant_row(bt, "batched+cache", 16, true, budget, repeats, &scalar_ms);
+  bench::report("runtime_overhead_batching", bt);
+
+  if (bench::smoke()) {
+    std::printf("\n[smoke] skipping google-benchmark micro-benchmarks\n");
+    return 0;
+  }
   std::printf("\nmicro-benchmarks (decision latency on this machine):\n");
 
   benchmark::Initialize(&argc, argv);

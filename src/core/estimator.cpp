@@ -149,6 +149,40 @@ double ThroughputEstimator::predict_reward(const tensor::Tensor& input) const {
   return (rates[0] + rates[1] + rates[2]) / 3.0;
 }
 
+std::vector<std::array<double, 3>> ThroughputEstimator::predict_batch(
+    const std::vector<tensor::Tensor>& inputs) const {
+  std::vector<std::array<double, 3>> rates(inputs.size());
+  if (inputs.empty()) return rates;
+  for (const tensor::Tensor& input : inputs) {
+    OB_REQUIRE(input.rank() == 3 &&
+                   input.extent(0) == device::kNumComponents &&
+                   input.extent(1) == models_dim_ &&
+                   input.extent(2) == layers_dim_,
+               "ThroughputEstimator::predict_batch: unexpected input shape");
+  }
+  const tensor::Tensor out = net_->forward(tensor::stack(inputs));
+  OB_ENSURE(out.rank() == 2 && out.extent(0) == inputs.size() &&
+                out.extent(1) == 3,
+            "estimator head must emit 3 outputs per sample");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      rates[i][d] = expand(target_transform_[d].invert(
+          static_cast<double>(out[i * 3 + d])));
+    }
+  }
+  return rates;
+}
+
+std::vector<double> ThroughputEstimator::predict_rewards(
+    const std::vector<tensor::Tensor>& inputs) const {
+  const std::vector<std::array<double, 3>> rates = predict_batch(inputs);
+  std::vector<double> rewards;
+  rewards.reserve(rates.size());
+  for (const std::array<double, 3>& r : rates)
+    rewards.push_back((r[0] + r[1] + r[2]) / 3.0);
+  return rewards;
+}
+
 namespace {
 
 constexpr char kEstimatorMagic[4] = {'O', 'B', 'T', 'E'};

@@ -12,6 +12,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "nn/loss.hpp"
 #include "nn/module.hpp"
@@ -74,6 +75,23 @@ class ThroughputEstimator {
   /// measured average throughput, and averaging the three redundant
   /// regressions cancels part of the estimator's error.
   double predict_reward(const tensor::Tensor& input) const;
+
+  /// Batched predict(): stacks \p inputs along a leading batch dimension and
+  /// runs ONE forward pass through the CNN, amortizing the per-layer
+  /// traversal and output allocations over the whole batch. Every layer of
+  /// the network is per-sample independent in inference mode (BatchNorm uses
+  /// running statistics), so element i of the result is bit-identical to
+  /// predict(inputs[i]). An empty batch returns an empty vector.
+  ///
+  /// Thread-safety follows the same clone rule as predict(): the forward
+  /// pass mutates the estimator's per-layer activation caches, so concurrent
+  /// callers need private clones (see docs/ESTIMATOR.md).
+  std::vector<std::array<double, 3>> predict_batch(
+      const std::vector<tensor::Tensor>& inputs) const;
+
+  /// Batched predict_reward(): element i equals predict_reward(inputs[i]).
+  std::vector<double> predict_rewards(
+      const std::vector<tensor::Tensor>& inputs) const;
 
   bool trained() const { return trained_; }
 

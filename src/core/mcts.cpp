@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <thread>
+#include <unordered_map>
 
 #include "util/require.hpp"
 #include "util/rng.hpp"
@@ -26,7 +27,28 @@ struct Mcts::Node {
   double best_reward = 0.0;
 };
 
+namespace {
+
+/// Adapts a scalar evaluator to the batch interface (one call per mapping).
+BatchMappingEvaluator adapt_scalar(MappingEvaluator evaluate) {
+  OB_REQUIRE(evaluate != nullptr, "Mcts: null evaluator");
+  return [evaluate = std::move(evaluate)](
+             const std::vector<sim::Mapping>& mappings) {
+    std::vector<double> rewards;
+    rewards.reserve(mappings.size());
+    for (const sim::Mapping& m : mappings) rewards.push_back(evaluate(m));
+    return rewards;
+  };
+}
+
+}  // namespace
+
 Mcts::Mcts(std::vector<std::size_t> layer_counts, MappingEvaluator evaluate,
+           MctsConfig config)
+    : Mcts(std::move(layer_counts), adapt_scalar(std::move(evaluate)),
+           config) {}
+
+Mcts::Mcts(std::vector<std::size_t> layer_counts, BatchMappingEvaluator evaluate,
            MctsConfig config)
     : layer_counts_(std::move(layer_counts)),
       evaluate_(std::move(evaluate)),
@@ -81,6 +103,17 @@ MctsResult parallel_mcts_search(const std::vector<std::size_t>& layer_counts,
                                 const EvaluatorFactory& make_evaluator,
                                 MctsConfig config, std::size_t workers) {
   OB_REQUIRE(make_evaluator != nullptr, "parallel_mcts_search: null factory");
+  const BatchEvaluatorFactory batched = [&make_evaluator] {
+    return adapt_scalar(make_evaluator());
+  };
+  return parallel_mcts_search_batched(layer_counts, batched, config, workers);
+}
+
+MctsResult parallel_mcts_search_batched(
+    const std::vector<std::size_t>& layer_counts,
+    const BatchEvaluatorFactory& make_evaluator, MctsConfig config,
+    std::size_t workers) {
+  OB_REQUIRE(make_evaluator != nullptr, "parallel_mcts_search: null factory");
   OB_REQUIRE(workers >= 1, "parallel_mcts_search: zero workers");
   OB_REQUIRE(config.budget >= workers,
              "parallel_mcts_search: budget smaller than worker count");
@@ -126,6 +159,7 @@ MctsResult parallel_mcts_search(const std::vector<std::size_t>& layer_counts,
   for (const MctsResult& r : results) {
     merged.iterations += r.iterations;
     merged.evaluations += r.evaluations;
+    merged.cache_hits += r.cache_hits;
     merged.tree_nodes += r.tree_nodes;
     if (r.best_reward > merged.best_reward) {
       merged.best_reward = r.best_reward;
@@ -138,6 +172,7 @@ MctsResult parallel_mcts_search(const std::vector<std::size_t>& layer_counts,
 MctsResult Mcts::search() {
   util::Rng rng(config_.seed);
   const std::size_t total = coords_.size();
+  const std::size_t wave_cap = std::max<std::size_t>(1, config_.batch_size);
 
   std::vector<Node> arena;
   arena.reserve(2 * config_.budget + 1);
@@ -149,6 +184,26 @@ MctsResult Mcts::search() {
   rollouts.reserve(config_.budget);
   std::vector<ComponentId> path;
   path.reserve(total);
+
+  // Evaluation memo (transposition cache): the action sequences
+  // GPU->CPU->GPU and CPU->GPU->GPU can reach distinct tree nodes whose
+  // completed rollouts render to the same Mapping; the memo keys on the
+  // mapping's canonical hash so the evaluator runs once per distinct
+  // mapping, not once per rollout.
+  std::unordered_map<sim::Mapping, double, sim::MappingHasher> memo;
+
+  // One queued leaf evaluation of the current expansion wave.
+  struct Pending {
+    std::int32_t node_id;        ///< leaf the selection phase stopped at
+    std::int32_t rollout_id;     ///< completed rollout through that leaf
+    std::ptrdiff_t batch_index;  ///< index into the wave batch, -1 if resolved
+    double reward;               ///< memoized reward when batch_index < 0
+  };
+  std::vector<Pending> wave;
+  wave.reserve(wave_cap);
+  std::vector<sim::Mapping> batch;
+  batch.reserve(wave_cap);
+  std::vector<double> batch_rewards;
 
   // Running reward range for scale-free UCT: evaluator units are arbitrary
   // (inferences/sec for oracles, flow units for the estimator), so the
@@ -170,92 +225,162 @@ MctsResult Mcts::search() {
     return choice;
   };
 
-  for (std::size_t iter = 0; iter < config_.budget; ++iter) {
-    path.clear();
-    std::int32_t node_id = 0;
+  // The budget is consumed in waves of up to batch_size rollouts: each wave
+  // member runs selection/expansion/rollout and is queued; then ONE batch
+  // evaluator call scores the wave's memo misses; then rewards are
+  // back-propagated in queue order. With wave size 1 the phase order per
+  // iteration (select, rollout, evaluate, min/max update, backprop) is the
+  // paper's sequential loop, decision for decision and rng draw for rng
+  // draw. Queued leaves already carry their visit increment (a virtual
+  // visit), which doubles as a virtual loss that spreads the members of a
+  // wide wave across the tree instead of piling them onto one leaf.
+  for (std::size_t iter = 0; iter < config_.budget;) {
+    const std::size_t wave_n = std::min(wave_cap, config_.budget - iter);
+    wave.clear();
+    batch.clear();
+    batch_rewards.clear();
 
-    // --- Selection: descend while fully expanded.
-    for (;;) {
-      Node& node = arena[static_cast<std::size_t>(node_id)];
-      if (node.depth >= total) break;  // terminal (winning) node reached
-      if (node.depth >= config_.max_depth) break;  // expansion depth cap
+    for (std::size_t k = 0; k < wave_n; ++k) {
+      path.clear();
+      std::int32_t node_id = 0;
 
-      valid_actions(path, node.depth, node.action_valid);
-      // Collect unexpanded valid actions.
-      std::size_t unexpanded[kNumComponents];
-      std::size_t n_unexpanded = 0;
-      for (std::size_t a = 0; a < kNumComponents; ++a)
-        if (node.action_valid[a] && node.child[a] < 0)
-          unexpanded[n_unexpanded++] = a;
+      // --- Selection: descend while fully expanded.
+      for (;;) {
+        Node& node = arena[static_cast<std::size_t>(node_id)];
+        if (node.depth >= total) break;  // terminal (winning) node reached
+        if (node.depth >= config_.max_depth) break;  // expansion depth cap
 
-      if (n_unexpanded > 0) {
-        // --- Expansion: create one child at random.
-        const std::size_t a = unexpanded[rng.below(n_unexpanded)];
-        Node child;
-        child.parent = node_id;
-        child.action = static_cast<std::uint8_t>(a);
-        child.depth = node.depth + 1;
-        arena.push_back(child);
-        const auto child_id = static_cast<std::int32_t>(arena.size() - 1);
-        arena[static_cast<std::size_t>(node_id)].child[a] = child_id;
-        path.push_back(static_cast<ComponentId>(a));
-        node_id = child_id;
-        break;
+        valid_actions(path, node.depth, node.action_valid);
+        // Collect unexpanded valid actions.
+        std::size_t unexpanded[kNumComponents];
+        std::size_t n_unexpanded = 0;
+        for (std::size_t a = 0; a < kNumComponents; ++a)
+          if (node.action_valid[a] && node.child[a] < 0)
+            unexpanded[n_unexpanded++] = a;
+
+        if (n_unexpanded > 0) {
+          // --- Expansion: create one child at random.
+          const std::size_t a = unexpanded[rng.below(n_unexpanded)];
+          Node child;
+          child.parent = node_id;
+          child.action = static_cast<std::uint8_t>(a);
+          child.depth = node.depth + 1;
+          arena.push_back(child);
+          const auto child_id = static_cast<std::int32_t>(arena.size() - 1);
+          arena[static_cast<std::size_t>(node_id)].child[a] = child_id;
+          path.push_back(static_cast<ComponentId>(a));
+          node_id = child_id;
+          break;
+        }
+
+        // --- UCT choice among expanded children.
+        double best_score = -std::numeric_limits<double>::infinity();
+        std::size_t best_action = 0;
+        const double log_n =
+            std::log(static_cast<double>(std::max<std::uint32_t>(node.visits, 1)));
+        const double reward_span =
+            reward_max > reward_min ? reward_max - reward_min : 1.0;
+        // Before the first backprop (possible only in a wide first wave:
+        // queued leaves carry virtual visits but no reward yet) the running
+        // range is still empty; treat every average as neutral rather than
+        // letting (q - inf) collapse all scores to -inf and the choice to
+        // action 0.
+        const bool have_rewards = reward_min <= reward_max;
+        for (std::size_t a = 0; a < kNumComponents; ++a) {
+          if (node.child[a] < 0) continue;
+          const Node& ch = arena[static_cast<std::size_t>(node.child[a])];
+          const double exploit =
+              ch.visits > 0 && have_rewards
+                  ? (ch.total_reward / ch.visits - reward_min) / reward_span
+                  : 0.0;
+          const double explore =
+              ch.visits > 0 ? config_.exploration *
+                                  std::sqrt(log_n / static_cast<double>(ch.visits))
+                            : std::numeric_limits<double>::infinity();
+          const double score = exploit + explore;
+          if (score > best_score) {
+            best_score = score;
+            best_action = a;
+          }
+        }
+        path.push_back(static_cast<ComponentId>(best_action));
+        node_id = arena[static_cast<std::size_t>(node_id)].child[best_action];
       }
 
-      // --- UCT choice among expanded children.
-      double best_score = -std::numeric_limits<double>::infinity();
-      std::size_t best_action = 0;
-      const double log_n =
-          std::log(static_cast<double>(std::max<std::uint32_t>(node.visits, 1)));
-      const double reward_span =
-          reward_max > reward_min ? reward_max - reward_min : 1.0;
-      for (std::size_t a = 0; a < kNumComponents; ++a) {
-        if (node.child[a] < 0) continue;
-        const Node& ch = arena[static_cast<std::size_t>(node.child[a])];
-        const double exploit =
-            ch.visits > 0
-                ? (ch.total_reward / ch.visits - reward_min) / reward_span
-                : 0.0;
-        const double explore =
-            ch.visits > 0 ? config_.exploration *
-                                std::sqrt(log_n / static_cast<double>(ch.visits))
-                          : std::numeric_limits<double>::infinity();
-        const double score = exploit + explore;
-        if (score > best_score) {
-          best_score = score;
-          best_action = a;
+      // --- Rollout: random completion to a winning (complete) mapping.
+      while (path.size() < total) {
+        bool valid[kNumComponents];
+        valid_actions(path, path.size(), valid);
+        path.push_back(static_cast<ComponentId>(pick_random_valid(valid)));
+      }
+      rollouts.push_back(path);
+      const auto rollout_id = static_cast<std::int32_t>(rollouts.size() - 1);
+
+      // Virtual visit: count the rollout on its tree path now, so the
+      // remaining members of this wave see it during selection.
+      for (std::int32_t id = node_id; id >= 0;
+           id = arena[static_cast<std::size_t>(id)].parent)
+        ++arena[static_cast<std::size_t>(id)].visits;
+
+      // --- Queue the leaf for evaluation: memo hit, in-wave duplicate, or a
+      // new entry in this wave's evaluator batch.
+      Pending pending{node_id, rollout_id, -1, 0.0};
+      sim::Mapping mapping = to_mapping(path);
+      if (config_.cache) {
+        const auto hit = memo.find(mapping);
+        if (hit != memo.end()) {
+          pending.reward = hit->second;
+          ++result.cache_hits;
+          wave.push_back(pending);
+          continue;
+        }
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+          if (batch[j] == mapping) {
+            pending.batch_index = static_cast<std::ptrdiff_t>(j);
+            ++result.cache_hits;
+            break;
+          }
         }
       }
-      path.push_back(static_cast<ComponentId>(best_action));
-      node_id = arena[static_cast<std::size_t>(node_id)].child[best_action];
-    }
+      if (pending.batch_index < 0) {
+        batch.push_back(std::move(mapping));
+        pending.batch_index = static_cast<std::ptrdiff_t>(batch.size() - 1);
+      }
+      wave.push_back(pending);
+    }  // wave collection
 
-    // --- Evaluation: random rollout to a complete (winning) mapping.
-    while (path.size() < total) {
-      bool valid[kNumComponents];
-      valid_actions(path, path.size(), valid);
-      path.push_back(static_cast<ComponentId>(pick_random_valid(valid)));
-    }
-    const double reward = evaluate_(to_mapping(path));
-    ++result.evaluations;
-    reward_min = std::min(reward_min, reward);
-    reward_max = std::max(reward_max, reward);
-    rollouts.push_back(path);
-    const auto rollout_id = static_cast<std::int32_t>(rollouts.size() - 1);
-
-    // --- Back-propagation.
-    for (std::int32_t id = node_id; id >= 0;
-         id = arena[static_cast<std::size_t>(id)].parent) {
-      Node& n = arena[static_cast<std::size_t>(id)];
-      ++n.visits;
-      n.total_reward += reward;
-      if (n.best_rollout < 0 || reward > n.best_reward) {
-        n.best_rollout = rollout_id;
-        n.best_reward = reward;
+    // --- Evaluation: one batch call for the wave's distinct new mappings.
+    if (!batch.empty()) {
+      batch_rewards = evaluate_(batch);
+      OB_ENSURE(batch_rewards.size() == batch.size(),
+                "Mcts: batch evaluator returned wrong reward count");
+      result.evaluations += batch.size();
+      if (config_.cache) {
+        for (std::size_t j = 0; j < batch.size(); ++j)
+          memo.emplace(batch[j], batch_rewards[j]);
       }
     }
-    ++result.iterations;
+
+    // --- Back-propagation, in queue order (visits already counted).
+    for (const Pending& p : wave) {
+      const double reward =
+          p.batch_index >= 0
+              ? batch_rewards[static_cast<std::size_t>(p.batch_index)]
+              : p.reward;
+      reward_min = std::min(reward_min, reward);
+      reward_max = std::max(reward_max, reward);
+      for (std::int32_t id = p.node_id; id >= 0;
+           id = arena[static_cast<std::size_t>(id)].parent) {
+        Node& n = arena[static_cast<std::size_t>(id)];
+        n.total_reward += reward;
+        if (n.best_rollout < 0 || reward > n.best_reward) {
+          n.best_rollout = p.rollout_id;
+          n.best_reward = reward;
+        }
+      }
+      ++result.iterations;
+    }
+    iter += wave_n;
   }
 
   // --- Elite-state extraction (paper Fig. 2 step 8). All strategies use

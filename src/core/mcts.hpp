@@ -19,6 +19,15 @@ namespace omniboost::core {
 /// Scores a complete mapping; higher is better.
 using MappingEvaluator = std::function<double(const sim::Mapping&)>;
 
+/// Scores a batch of complete mappings in one call; element i is the reward
+/// of mappings[i]. Batch evaluation lets the throughput estimator amortize
+/// one CNN forward pass over a whole expansion wave
+/// (ThroughputEstimator::predict_rewards); scalar evaluators are adapted
+/// automatically. Evaluators must be deterministic: the search memoizes
+/// rewards by mapping (MctsConfig::cache) and replays them on repeat visits.
+using BatchMappingEvaluator =
+    std::function<std::vector<double>(const std::vector<sim::Mapping>&)>;
+
 /// How the final decision is read out of the search tree.
 enum class MctsExtraction {
   /// The single rollout with the highest evaluator reward. Fast but exposed
@@ -44,6 +53,21 @@ struct MctsConfig {
   std::size_t stage_limit = 3;   ///< x = number of computing components
   MctsExtraction extraction = MctsExtraction::kGlobalArgmax;
   std::uint64_t seed = 1;
+  /// Leaf evaluations collected per expansion wave before the batch
+  /// evaluator runs. 1 reproduces the paper's strictly sequential
+  /// select-evaluate-backpropagate loop bit-for-bit; larger waves trade a
+  /// slightly staler tree policy (queued leaves carry a virtual visit until
+  /// their reward lands) for batched evaluator calls.
+  /// When searching through OmniBoostScheduler, set this and `cache` on
+  /// OmniBoostConfig instead — schedule() forwards both from there and
+  /// rejects non-default values set here.
+  std::size_t batch_size = 1;
+  /// Memoize rewards by canonical mapping hash (sim::Mapping::hash), so a
+  /// rollout that reaches an already-scored mapping never re-runs the
+  /// evaluator. Replayed rewards are the exact doubles the evaluator
+  /// returned, so the search trajectory is bit-identical with the cache on
+  /// or off — only the evaluations/cache_hits accounting differs.
+  bool cache = true;
 };
 
 /// Search outcome.
@@ -51,7 +75,11 @@ struct MctsResult {
   sim::Mapping best_mapping;
   double best_reward = 0.0;
   std::size_t iterations = 0;
-  std::size_t evaluations = 0;   ///< evaluator queries issued
+  /// Evaluator queries actually executed (memo misses). With the evaluation
+  /// cache disabled this equals iterations; with it enabled,
+  /// evaluations + cache_hits == iterations.
+  std::size_t evaluations = 0;
+  std::size_t cache_hits = 0;    ///< rollouts served from the evaluation memo
   std::size_t tree_nodes = 0;
 };
 
@@ -62,14 +90,29 @@ struct MctsResult {
 /// estimator; see OmniBoostConfig::workers).
 using EvaluatorFactory = std::function<MappingEvaluator()>;
 
+/// Batch-evaluator variant of EvaluatorFactory; same private-state rule.
+using BatchEvaluatorFactory = std::function<BatchMappingEvaluator()>;
+
 /// Root-parallelized UCT: \p workers independent trees with forked seeds and
 /// the budget split between them, merged by best reward. With workers == 1
 /// this is exactly Mcts::search() (same seed, same result). Decision quality
 /// is comparable at equal total budget; wall-clock drops by ~the worker
 /// count — the knob for shrinking the paper's ~30 s decision latency.
+/// Each worker keeps a private evaluation memo (caches are not shared across
+/// trees: sharing would reintroduce the cross-thread estimator state the
+/// clone rule exists to avoid).
 MctsResult parallel_mcts_search(const std::vector<std::size_t>& layer_counts,
                                 const EvaluatorFactory& make_evaluator,
                                 MctsConfig config, std::size_t workers);
+
+/// Batched-evaluator form of parallel_mcts_search: every worker routes its
+/// expansion waves (MctsConfig::batch_size) through its private batch
+/// evaluator. The scalar overload above is this function with each scalar
+/// evaluator adapted to a batch-of-1 loop.
+MctsResult parallel_mcts_search_batched(
+    const std::vector<std::size_t>& layer_counts,
+    const BatchEvaluatorFactory& make_evaluator, MctsConfig config,
+    std::size_t workers);
 
 /// The scheduling environment + UCT search.
 class Mcts {
@@ -77,6 +120,11 @@ class Mcts {
   /// \param layer_counts  layers per DNN of the workload
   /// \param evaluate      reward for complete mappings
   Mcts(std::vector<std::size_t> layer_counts, MappingEvaluator evaluate,
+       MctsConfig config = {});
+
+  /// Batch-evaluator constructor: leaf rewards are requested in waves of up
+  /// to MctsConfig::batch_size mappings per evaluator call.
+  Mcts(std::vector<std::size_t> layer_counts, BatchMappingEvaluator evaluate,
        MctsConfig config = {});
 
   /// Runs the search to the configured budget.
@@ -98,7 +146,7 @@ class Mcts {
 
   std::vector<std::size_t> layer_counts_;
   std::vector<Coord> coords_;
-  MappingEvaluator evaluate_;
+  BatchMappingEvaluator evaluate_;  ///< scalar evaluators arrive pre-adapted
   MctsConfig config_;
 };
 

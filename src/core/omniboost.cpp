@@ -43,12 +43,35 @@ ScheduleResult OmniBoostScheduler::schedule(const workload::Workload& w) {
   OB_REQUIRE(w.size() > 0, "OmniBoostScheduler::schedule: empty workload");
   const StopWatch timer;
 
+  // The scheduler-level batching/caching knobs ride on the generic search
+  // config; OmniBoostConfig is the authoritative surface for both. Reject
+  // values smuggled in through the sub-config instead of silently
+  // overwriting them.
+  OB_REQUIRE(config_.mcts.batch_size == 1 && config_.mcts.cache,
+             "OmniBoostScheduler: set batch_size/cache on OmniBoostConfig "
+             "itself, not on its mcts sub-config");
+  MctsConfig mcts = config_.mcts;
+  mcts.batch_size = config_.batch_size;
+  mcts.cache = config_.cache;
+
+  // Renders a wave of mappings and scores it with ONE batched CNN forward
+  // pass through the given estimator instance.
+  const auto batch_evaluator =
+      [this, &w](std::shared_ptr<const ThroughputEstimator> est)
+      -> BatchMappingEvaluator {
+    return [this, &w, est = std::move(est)](
+               const std::vector<sim::Mapping>& mappings) {
+      std::vector<tensor::Tensor> inputs;
+      inputs.reserve(mappings.size());
+      for (const sim::Mapping& m : mappings)
+        inputs.push_back(embedding_->masked_input(w, m));
+      return est->predict_rewards(inputs);
+    };
+  };
+
   MctsResult r;
   if (config_.workers <= 1) {
-    const MappingEvaluator evaluate = [this, &w](const sim::Mapping& m) {
-      return estimator_->predict_reward(embedding_->masked_input(w, m));
-    };
-    Mcts search(w.layer_counts(*zoo_), evaluate, config_.mcts);
+    Mcts search(w.layer_counts(*zoo_), batch_evaluator(estimator_), mcts);
     r = search.search();
   } else {
     // Root-parallel: the CNN forward pass mutates activation caches, so each
@@ -57,22 +80,22 @@ ScheduleResult OmniBoostScheduler::schedule(const workload::Workload& w) {
     std::stringstream weights;
     estimator_->save(weights);
     const std::string blob = weights.str();
-    const EvaluatorFactory factory = [this, &w, blob]() -> MappingEvaluator {
+    const BatchEvaluatorFactory factory = [&batch_evaluator,
+                                           blob]() -> BatchMappingEvaluator {
       std::istringstream is(blob);
       auto clone =
           std::make_shared<ThroughputEstimator>(ThroughputEstimator::load(is));
-      return [this, &w, clone](const sim::Mapping& m) {
-        return clone->predict_reward(embedding_->masked_input(w, m));
-      };
+      return batch_evaluator(std::move(clone));
     };
-    r = parallel_mcts_search(w.layer_counts(*zoo_), factory, config_.mcts,
-                             config_.workers);
+    r = parallel_mcts_search_batched(w.layer_counts(*zoo_), factory, mcts,
+                                     config_.workers);
   }
 
   ScheduleResult out;
   out.mapping = r.best_mapping;
   out.expected_reward = r.best_reward;
   out.evaluations = r.evaluations;
+  out.cache_hits = r.cache_hits;
   out.decision_seconds = timer.seconds();
   return out;
 }
@@ -96,6 +119,7 @@ ScheduleResult MctsScheduler::schedule(const workload::Workload& w) {
   out.mapping = r.best_mapping;
   out.expected_reward = r.best_reward;
   out.evaluations = r.evaluations;
+  out.cache_hits = r.cache_hits;
   out.decision_seconds = timer.seconds();
   return out;
 }

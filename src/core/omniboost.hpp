@@ -15,12 +15,29 @@ namespace omniboost::core {
 
 /// OmniBoost run-time controls.
 struct OmniBoostConfig {
-  MctsConfig mcts;  ///< paper defaults: budget 500, depth 100, limit 3
+  /// Search controls (paper defaults: budget 500, depth 100, limit 3).
+  /// Note: leave its batch_size/cache fields at their defaults here — the
+  /// scheduler-level knobs below are the single source of truth, schedule()
+  /// forwards them into the search config, and non-default values smuggled
+  /// in through this sub-config are rejected (std::invalid_argument) rather
+  /// than silently overwritten.
+  MctsConfig mcts;
   /// Root-parallel search workers. 1 reproduces the paper's sequential
   /// search; N > 1 splits the budget over N independent trees, each with a
   /// private clone of the estimator (the CNN forward pass is stateful), and
   /// cuts the decision latency by ~N at comparable quality.
   std::size_t workers = 1;
+  /// Leaf evaluations batched per estimator forward pass (the MCTS
+  /// expansion-wave width; forwarded into MctsConfig::batch_size by
+  /// schedule()). 1 reproduces the paper's sequential search bit-for-bit;
+  /// larger values amortize the CNN traversal over the wave — see
+  /// bench_runtime_overhead's batched-vs-scalar columns.
+  std::size_t batch_size = 1;
+  /// Memoize estimator rewards by mapping hash (forwarded into
+  /// MctsConfig::cache). Rewards for repeated mappings are replayed
+  /// bit-exactly, so this changes only the evaluations/cache_hits split,
+  /// never the decision.
+  bool cache = true;
 };
 
 /// Production scheduler: estimator-guided Monte Carlo Tree Search.

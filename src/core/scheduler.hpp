@@ -16,7 +16,12 @@ struct ScheduleResult {
   sim::Mapping mapping;
   double expected_reward = 0.0;   ///< scheduler-internal score (0 if none)
   double decision_seconds = 0.0;  ///< wall-clock decision latency
-  std::size_t evaluations = 0;    ///< performance-model / simulator queries
+  /// Performance-model / simulator queries actually executed. For
+  /// memoizing searchers (OmniBoost's MCTS) repeated visits to an
+  /// already-scored mapping are counted in cache_hits instead, so
+  /// evaluations + cache_hits is the rollout budget spent.
+  std::size_t evaluations = 0;
+  std::size_t cache_hits = 0;     ///< queries answered from an evaluation memo
   /// Board time a measurement-driven scheduler would burn on the device for
   /// this decision (GA fitness runs). Zero for model-driven schedulers.
   double board_seconds = 0.0;

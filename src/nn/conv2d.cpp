@@ -74,24 +74,34 @@ Tensor Conv2d::forward(const Tensor& x) {
   const float* wd = weight_.value.data();
   float* yd = y.data();
 
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      float* yplane = yd + (b * out_ch_ + oc) * oh * ow;
-      if (has_bias_) {
+  if (has_bias_) {
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        float* yplane = yd + (b * out_ch_ + oc) * oh * ow;
         const float bias = bias_.value[oc];
         for (std::size_t i = 0; i < oh * ow; ++i) yplane[i] = bias;
       }
-      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-        const float* xplane = xd + (b * in_ch_ + ic) * h * w;
-        const float* wplane = wd + (oc * in_ch_ + ic) * kernel_ * kernel_;
-        for (std::size_t ky = 0; ky < kernel_; ++ky) {
-          for (std::size_t kx = 0; kx < kernel_; ++kx) {
-            const float wv = wplane[ky * kernel_ + kx];
-            if (wv == 0.0f) continue;
-            const auto off_x = static_cast<std::ptrdiff_t>(kx) -
-                               static_cast<std::ptrdiff_t>(padding_);
-            std::size_t lo, hi;
-            ox_bounds(ow, w, stride_, off_x, lo, hi);
+    }
+  }
+  // Batch innermost (between kernel tap and output rows): the weight load
+  // and the column-bounds arithmetic of one (oc, ic, ky, kx) tap are hoisted
+  // across all N samples, so batched forwards (predict_batch, the MCTS
+  // expansion waves) pay them once per tap instead of once per sample.
+  // For n == 1 the work is identical to the sample-outer order.
+  for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+      const float* wplane = wd + (oc * in_ch_ + ic) * kernel_ * kernel_;
+      for (std::size_t ky = 0; ky < kernel_; ++ky) {
+        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+          const float wv = wplane[ky * kernel_ + kx];
+          if (wv == 0.0f) continue;
+          const auto off_x = static_cast<std::ptrdiff_t>(kx) -
+                             static_cast<std::ptrdiff_t>(padding_);
+          std::size_t lo, hi;
+          ox_bounds(ow, w, stride_, off_x, lo, hi);
+          for (std::size_t b = 0; b < n; ++b) {
+            const float* xplane = xd + (b * in_ch_ + ic) * h * w;
+            float* yplane = yd + (b * out_ch_ + oc) * oh * ow;
             for (std::size_t oy = 0; oy < oh; ++oy) {
               const std::ptrdiff_t iy =
                   static_cast<std::ptrdiff_t>(oy * stride_ + ky) -

@@ -7,8 +7,17 @@
 ///
 /// Conventions:
 ///  * Convolutional modules consume NCHW tensors, Linear consumes (N, F).
+///  * The leading dimension N is a true batch axis: every layer computes
+///    each sample independently in inference mode (BatchNorm switches to its
+///    running statistics), so a batched forward over N stacked samples is
+///    bit-identical to N single-sample forwards. The estimator's
+///    predict_batch relies on this contract; tests/estimator_batch_test.cpp
+///    pins it.
 ///  * forward() caches whatever backward() needs; backward(grad_out) returns
-///    grad w.r.t. the input and *accumulates* parameter gradients.
+///    grad w.r.t. the input and *accumulates* parameter gradients. These
+///    caches are per-layer-instance scratch — a module graph is cheap to run
+///    but NOT thread-safe to share; give each thread its own instance (the
+///    estimator-clone rule, docs/ARCHITECTURE.md).
 ///  * Parameter gradients are cleared explicitly via zero_grad().
 
 #include <cstddef>

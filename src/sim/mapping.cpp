@@ -30,11 +30,34 @@ std::size_t num_stages(const Assignment& a) {
   return n;
 }
 
+namespace {
+
+/// FNV-1a over the mapping contents. Each DNN contributes its length before
+/// its component ids so the assignment-boundary structure is part of the
+/// canonical form, not just the flattened component sequence.
+std::uint64_t hash_assignments(const std::vector<Assignment>& per_dnn) {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= kPrime;
+  };
+  for (const Assignment& a : per_dnn) {
+    mix(a.size());
+    for (ComponentId c : a) mix(static_cast<std::uint64_t>(c) + 1);
+  }
+  return h;
+}
+
+}  // namespace
+
 Mapping::Mapping(std::vector<Assignment> per_dnn)
     : per_dnn_(std::move(per_dnn)) {
   OB_REQUIRE(!per_dnn_.empty(), "Mapping: empty workload");
   for (const auto& a : per_dnn_)
     OB_REQUIRE(!a.empty(), "Mapping: DNN with no layers");
+  hash_ = hash_assignments(per_dnn_);
 }
 
 Mapping Mapping::all_on(const std::vector<std::size_t>& layer_counts,

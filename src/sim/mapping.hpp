@@ -6,6 +6,7 @@
 /// x = kNumComponents per DNN; exceeding that marks a losing MCTS state).
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "device/device.hpp"
@@ -32,6 +33,10 @@ std::vector<SegmentSpan> extract_segments(const Assignment& a);
 std::size_t num_stages(const Assignment& a);
 
 /// A complete mapping for a workload of several DNNs.
+///
+/// Mappings are immutable once constructed, so a canonical 64-bit hash is
+/// computed eagerly and cached; it keys the MCTS evaluation memo
+/// (core::Mcts) and gives operator== an O(1) reject path.
 class Mapping {
  public:
   Mapping() = default;
@@ -53,11 +58,28 @@ class Mapping {
   /// True iff every DNN has at most \p limit stages (paper: limit = 3).
   bool within_stage_limit(std::size_t limit) const;
 
-  bool operator==(const Mapping& rhs) const { return per_dnn_ == rhs.per_dnn_; }
+  /// Canonical content hash (FNV-1a over DNN lengths and component ids).
+  /// Equal mappings hash equal; DNN boundaries are mixed in so e.g.
+  /// {{G,G}} and {{G},{G}} collide neither with each other nor trivially.
+  std::uint64_t hash() const { return hash_; }
+
+  /// Hash-first fast path: unequal hashes reject without touching the
+  /// per-layer vectors (the common case inside the evaluation memo).
+  bool operator==(const Mapping& rhs) const {
+    return hash_ == rhs.hash_ && per_dnn_ == rhs.per_dnn_;
+  }
   bool operator!=(const Mapping& rhs) const { return !(*this == rhs); }
 
  private:
   std::vector<Assignment> per_dnn_;
+  std::uint64_t hash_ = 0;
+};
+
+/// Hasher for unordered containers keyed by Mapping.
+struct MappingHasher {
+  std::size_t operator()(const Mapping& m) const {
+    return static_cast<std::size_t>(m.hash());
+  }
 };
 
 }  // namespace omniboost::sim

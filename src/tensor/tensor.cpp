@@ -163,6 +163,26 @@ float Tensor::l2_norm() const {
   return static_cast<float>(std::sqrt(s));
 }
 
+Tensor stack(const std::vector<Tensor>& parts) {
+  OB_REQUIRE(!parts.empty(), "stack: empty part list");
+  const Shape& part_shape = parts.front().shape();
+  OB_REQUIRE(!parts.front().empty(), "stack: empty part tensor");
+  Shape out_shape;
+  out_shape.reserve(part_shape.size() + 1);
+  out_shape.push_back(parts.size());
+  out_shape.insert(out_shape.end(), part_shape.begin(), part_shape.end());
+
+  Tensor out(std::move(out_shape));
+  const std::size_t part_size = parts.front().size();
+  float* dst = out.data();
+  for (const Tensor& p : parts) {
+    OB_REQUIRE(p.shape() == part_shape, "stack: part shape mismatch");
+    std::copy(p.data(), p.data() + part_size, dst);
+    dst += part_size;
+  }
+  return out;
+}
+
 std::ostream& operator<<(std::ostream& os, const Shape& shape) {
   os << '[';
   for (std::size_t i = 0; i < shape.size(); ++i) {

@@ -112,6 +112,13 @@ class Tensor {
 /// Number of elements implied by a shape (1 for rank-0).
 std::size_t shape_size(const Shape& shape);
 
+/// Stacks same-shaped tensors along a new leading batch dimension:
+/// B tensors of shape (d0, ..., dk) become one tensor of shape
+/// (B, d0, ..., dk). Requires a non-empty list of non-empty, shape-identical
+/// parts. This is the batching primitive behind
+/// core::ThroughputEstimator::predict_batch.
+Tensor stack(const std::vector<Tensor>& parts);
+
 /// Pretty-prints shape as e.g. "[3, 11, 36]".
 std::ostream& operator<<(std::ostream& os, const Shape& shape);
 

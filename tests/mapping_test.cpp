@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <set>
 
 #include "sim/mapping.hpp"
@@ -84,6 +86,56 @@ TEST(Mapping, EqualityIsStructural) {
   const Mapping c({{B, G}});
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
+}
+
+TEST(MappingHash, EqualMappingsHashEqual) {
+  const Mapping a({{G, B, B}, {L, L}});
+  const Mapping b({{G, B, B}, {L, L}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  // Hash survives independent construction paths.
+  EXPECT_EQ(Mapping::all_on({4, 2}, G).hash(), Mapping::all_on({4, 2}, G).hash());
+}
+
+TEST(MappingHash, BoundaryStructureIsPartOfTheHash) {
+  // Same flattened component sequence, different DNN boundaries.
+  const Mapping one_dnn({{G, G}});
+  const Mapping two_dnns({{G}, {G}});
+  EXPECT_NE(one_dnn, two_dnns);
+  EXPECT_NE(one_dnn.hash(), two_dnns.hash());
+}
+
+TEST(MappingHash, NoCollisionsAcrossEnumeratedMappings) {
+  // Exhaustive single-DNN enumeration (3^8 assignments) plus the random
+  // multi-DNN population the other tests draw from: every distinct mapping
+  // must carry a distinct hash, and every repeat an identical one.
+  std::map<std::uint64_t, Mapping> seen;
+  const auto check = [&seen](const Mapping& m) {
+    const auto [it, inserted] = seen.emplace(m.hash(), m);
+    if (!inserted) {
+      EXPECT_EQ(it->second, m) << "hash collision";
+    }
+  };
+
+  constexpr std::size_t kLayers = 8;
+  for (std::size_t code = 0; code < 6561; ++code) {  // 3^8
+    Assignment a(kLayers);
+    std::size_t c = code;
+    for (std::size_t l = 0; l < kLayers; ++l, c /= 3)
+      a[l] = static_cast<ComponentId>(c % 3);
+    check(Mapping({a}));
+  }
+  EXPECT_EQ(seen.size(), 6561u);
+
+  omniboost::util::Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<Assignment> per_dnn;
+    const std::size_t dnns = 1 + rng.below(4);
+    for (std::size_t d = 0; d < dnns; ++d)
+      per_dnn.push_back(omniboost::workload::random_assignment(
+          rng, 1 + rng.below(30), 3));
+    check(Mapping(std::move(per_dnn)));
+  }
 }
 
 // Property: random assignments always respect the requested stage limit and

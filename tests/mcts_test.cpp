@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/mcts.hpp"
 
 namespace {
@@ -30,20 +33,95 @@ TEST(Mcts, ValidatesArguments) {
   const MappingEvaluator ok = [](const Mapping&) { return 0.0; };
   EXPECT_THROW(Mcts({}, ok), std::invalid_argument);
   EXPECT_THROW(Mcts({0}, ok), std::invalid_argument);
-  EXPECT_THROW(Mcts({3}, nullptr), std::invalid_argument);
+  EXPECT_THROW(Mcts({3}, MappingEvaluator{}), std::invalid_argument);
+  EXPECT_THROW(Mcts({3}, core::BatchMappingEvaluator{}),
+               std::invalid_argument);
   MctsConfig bad;
   bad.budget = 0;
   EXPECT_THROW(Mcts({3}, ok, bad), std::invalid_argument);
 }
 
-TEST(Mcts, BudgetEqualsEvaluations) {
+TEST(Mcts, BudgetEqualsEvaluationsPlusCacheHits) {
   MctsConfig cfg;
   cfg.budget = 137;
   Mcts search({5, 7}, [](const Mapping&) { return 1.0; }, cfg);
   const MctsResult r = search.search();
-  EXPECT_EQ(r.evaluations, 137u);
   EXPECT_EQ(r.iterations, 137u);
+  EXPECT_EQ(r.evaluations + r.cache_hits, 137u);
   EXPECT_GT(r.tree_nodes, 1u);
+
+  // With the memo disabled every rollout pays an evaluator call — the
+  // pre-memo budget accounting.
+  MctsConfig uncached = cfg;
+  uncached.cache = false;
+  Mcts plain({5, 7}, [](const Mapping&) { return 1.0; }, uncached);
+  const MctsResult p = plain.search();
+  EXPECT_EQ(p.evaluations, 137u);
+  EXPECT_EQ(p.cache_hits, 0u);
+}
+
+TEST(Mcts, CacheNeverChangesTheDecision) {
+  // The memo replays the evaluator's exact doubles, so the search trajectory
+  // — and therefore the decision — is bit-identical with the cache on or
+  // off; only the accounting moves between evaluations and cache_hits.
+  const MappingEvaluator eval = [](const Mapping& m) {
+    return static_cast<double>(count_on(m, B)) -
+           0.3 * static_cast<double>(m.max_stages());
+  };
+  MctsConfig cached;
+  cached.budget = 220;
+  cached.seed = 21;
+  MctsConfig uncached = cached;
+  uncached.cache = false;
+  const MctsResult with = Mcts({7, 4}, eval, cached).search();
+  const MctsResult without = Mcts({7, 4}, eval, uncached).search();
+  EXPECT_EQ(with.best_mapping, without.best_mapping);
+  EXPECT_DOUBLE_EQ(with.best_reward, without.best_reward);
+  EXPECT_EQ(with.tree_nodes, without.tree_nodes);
+  // A 220-rollout search over an 11-decision space revisits mappings.
+  EXPECT_GT(with.cache_hits, 0u);
+  EXPECT_LT(with.evaluations, without.evaluations);
+}
+
+TEST(Mcts, BatchedWavesSpendTheSameBudget) {
+  std::size_t calls = 0, scored = 0, largest = 0;
+  MctsConfig cfg;
+  cfg.budget = 120;
+  cfg.batch_size = 16;
+  const core::BatchMappingEvaluator eval =
+      [&](const std::vector<Mapping>& ms) {
+        ++calls;
+        scored += ms.size();
+        largest = std::max(largest, ms.size());
+        return std::vector<double>(ms.size(), 1.0);
+      };
+  const MctsResult r = Mcts({6, 5}, eval, cfg).search();
+  EXPECT_EQ(r.iterations, 120u);
+  EXPECT_EQ(r.evaluations, scored);
+  EXPECT_EQ(r.evaluations + r.cache_hits, 120u);
+  EXPECT_LE(largest, 16u);
+  EXPECT_GT(largest, 1u);  // waves genuinely batch several leaves
+  EXPECT_LE(calls, (120u + 15u) / 16u);
+  EXPECT_TRUE(r.best_mapping.within_stage_limit(3));
+}
+
+TEST(Mcts, BatchedSearchIsDeterministic) {
+  const core::BatchMappingEvaluator eval =
+      [](const std::vector<Mapping>& ms) {
+        std::vector<double> out;
+        for (const Mapping& m : ms)
+          out.push_back(static_cast<double>(count_on(m, B)));
+        return out;
+      };
+  MctsConfig cfg;
+  cfg.budget = 150;
+  cfg.batch_size = 8;
+  cfg.seed = 33;
+  const MctsResult a = Mcts({9, 5}, eval, cfg).search();
+  const MctsResult b = Mcts({9, 5}, eval, cfg).search();
+  EXPECT_EQ(a.best_mapping, b.best_mapping);
+  EXPECT_DOUBLE_EQ(a.best_reward, b.best_reward);
+  EXPECT_EQ(a.tree_nodes, b.tree_nodes);
 }
 
 TEST(Mcts, FindsObviousOptimum) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "nn/layers.hpp"
 #include "util/rng.hpp"
@@ -267,6 +268,60 @@ TEST(Residual, RejectsShapeChangingBody) {
   body->emplace<Linear>(4, 2);
   Residual res(std::move(body));
   EXPECT_THROW(res.forward(Tensor({1, 4})), std::invalid_argument);
+}
+
+TEST(Module, BatchedForwardMatchesPerSampleForward) {
+  // The leading dimension is a true batch axis: in inference mode every
+  // layer computes samples independently, so forwarding a stacked batch is
+  // bit-identical to forwarding each sample alone. predict_batch and the
+  // MCTS expansion waves rely on this contract (docs/ESTIMATOR.md).
+  Rng rng(31);
+  const auto random_input = [&rng](omniboost::tensor::Shape shape) {
+    Tensor t(std::move(shape));
+    for (std::size_t i = 0; i < t.size(); ++i)
+      t[i] = static_cast<float>(rng.normal());
+    return t;
+  };
+
+  const auto check = [&](Module& layer, const omniboost::tensor::Shape& s) {
+    layer.set_training(false);
+    constexpr std::size_t kBatch = 5;
+    std::vector<Tensor> samples;
+    for (std::size_t b = 0; b < kBatch; ++b) samples.push_back(random_input(s));
+    const Tensor batched = layer.forward(omniboost::tensor::stack(samples));
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      const Tensor single =
+          layer.forward(omniboost::tensor::stack({samples[b]}));
+      ASSERT_EQ(single.size() * kBatch, batched.size()) << layer.name();
+      for (std::size_t i = 0; i < single.size(); ++i)
+        EXPECT_EQ(single[i], batched[b * single.size() + i])
+            << layer.name() << " sample " << b << " element " << i;
+    }
+  };
+
+  Conv2d conv(3, 4, 3, 1, 1);
+  conv.init(rng);
+  check(conv, {3, 6, 7});
+
+  Linear fc(10, 4);
+  fc.init(rng);
+  check(fc, {10});
+
+  BatchNorm2d bn(3);
+  {  // give the running statistics a real history first
+    bn.set_training(true);
+    bn.forward(random_input({4, 3, 5, 5}));
+  }
+  check(bn, {3, 5, 5});
+
+  GELU gelu;
+  check(gelu, {3, 4, 4});
+  ReLU relu;
+  check(relu, {3, 4, 4});
+  MaxPool2d pool(2);
+  check(pool, {3, 6, 6});
+  GlobalAvgPool gap;
+  check(gap, {3, 4, 4});
 }
 
 TEST(Module, ZeroGradClearsAccumulation) {

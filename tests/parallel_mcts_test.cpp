@@ -58,6 +58,7 @@ TEST(ParallelMcts, SingleWorkerMatchesSequentialSearch) {
   EXPECT_EQ(parallel.best_mapping, plain.best_mapping);
   EXPECT_DOUBLE_EQ(parallel.best_reward, plain.best_reward);
   EXPECT_EQ(parallel.evaluations, plain.evaluations);
+  EXPECT_EQ(parallel.cache_hits, plain.cache_hits);
 }
 
 TEST(ParallelMcts, BudgetSplitsExactlyAcrossWorkers) {
@@ -66,7 +67,7 @@ TEST(ParallelMcts, BudgetSplitsExactlyAcrossWorkers) {
   cfg.budget = 103;  // deliberately not divisible by 4
   const auto r = core::parallel_mcts_search(w.layer_counts(zoo()),
                                             oracle_factory(w), cfg, 4);
-  EXPECT_EQ(r.evaluations, 103u);
+  EXPECT_EQ(r.evaluations + r.cache_hits, 103u);
   EXPECT_EQ(r.iterations, 103u);
   EXPECT_TRUE(r.best_mapping.within_stage_limit(3));
 }
@@ -154,7 +155,7 @@ TEST(ParallelMcts, OmniBoostSchedulerEndToEnd) {
   const Workload w{{ModelId::kVgg16, ModelId::kAlexNet, ModelId::kMobileNet}};
   const auto a = sched.schedule(w);
   const auto b = sched.schedule(w);
-  EXPECT_EQ(a.evaluations, 200u);
+  EXPECT_EQ(a.evaluations + a.cache_hits, 200u);
   EXPECT_TRUE(a.mapping.within_stage_limit(3));
   EXPECT_EQ(a.mapping, b.mapping) << "parallel decision not deterministic";
 

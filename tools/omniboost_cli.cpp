@@ -64,12 +64,14 @@ std::unique_ptr<core::IScheduler> make_scheduler(
     const std::string& kind, const models::ModelZoo& zoo,
     const device::DeviceSpec& device, const core::EmbeddingTensor& embedding,
     std::shared_ptr<const core::ThroughputEstimator> estimator,
-    std::size_t budget, std::size_t depth, std::uint64_t seed) {
+    std::size_t budget, std::size_t depth, std::size_t batch,
+    std::uint64_t seed) {
   if (kind == "omniboost") {
     core::OmniBoostConfig cfg;
     cfg.mcts.budget = budget;
     cfg.mcts.max_depth = depth;
     cfg.mcts.seed = seed;
+    cfg.batch_size = batch;
     return std::make_unique<core::OmniBoostScheduler>(zoo, embedding,
                                                       std::move(estimator),
                                                       cfg);
@@ -125,6 +127,7 @@ int run(int argc, char** argv) {
               "omniboost")
       .option("budget", "search budget (estimator queries)", "500")
       .option("depth", "MCTS tree-expansion depth limit", "100")
+      .option("batch", "leaf evaluations per batched estimator query", "1")
       .option("samples", "estimator training workloads", "500")
       .option("epochs", "estimator training epochs", "100")
       .option("seed", "master seed", "1")
@@ -206,7 +209,8 @@ int run(int argc, char** argv) {
   auto scheduler = make_scheduler(
       scheduler_kind, zoo, device, embedding, estimator,
       static_cast<std::size_t>(args.get_int("budget")),
-      static_cast<std::size_t>(args.get_int("depth")), seed);
+      static_cast<std::size_t>(args.get_int("depth")),
+      static_cast<std::size_t>(args.get_int("batch")), seed);
   const core::ScheduleResult result = scheduler->schedule(w);
 
   const auto nets = w.resolve(zoo);
@@ -231,6 +235,7 @@ int run(int argc, char** argv) {
                                    : 0.0));
     out.set("decision_seconds", util::Json::number(result.decision_seconds));
     out.set("evaluations", util::Json::number(result.evaluations));
+    out.set("cache_hits", util::Json::number(result.cache_hits));
     util::Json dnns = util::Json::array();
     for (std::size_t d = 0; d < w.size(); ++d) {
       util::Json j = util::Json::object();
@@ -269,8 +274,8 @@ int run(int argc, char** argv) {
 
   std::printf("\nmix: %s | scheduler: %s\n", w.describe().c_str(),
               scheduler->name().c_str());
-  std::printf("decision: %.3f s (%zu evaluator queries)\n",
-              result.decision_seconds, result.evaluations);
+  std::printf("decision: %.3f s (%zu evaluator queries, %zu memo hits)\n",
+              result.decision_seconds, result.evaluations, result.cache_hits);
   if (!measured.feasible) {
     std::printf("RESULT: workload exceeds board memory (unresponsive)\n");
     return 1;

@@ -3,7 +3,22 @@
 # CI and humans run this identical path; it is the scripted form of
 #   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
 # Run from anywhere; the repo root is derived from this script's location.
+#
+# Options:
+#   --bench-smoke  After ctest, build every bench driver and run each one
+#                  with OMNIBOOST_BENCH_SMOKE=1 (tiny campaigns, shared
+#                  smoke-only estimator cache, JSON export into
+#                  <build>/bench-smoke/). Catches bench bit-rot in tier-1
+#                  instead of at the next real experiment run.
 set -eu
+
+bench_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) bench_smoke=1 ;;
+    *) echo "run_tier1.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="${OMNIBOOST_BUILD_DIR:-$root/build}"
@@ -16,7 +31,32 @@ echo "== build ($jobs jobs) =="
 cmake --build "$build_dir" -j "$jobs"
 
 echo "== ctest =="
-cd "$build_dir"
-ctest --output-on-failure -j "$jobs"
+(cd "$build_dir" && ctest --output-on-failure -j "$jobs")
+
+if [ "$bench_smoke" -eq 1 ]; then
+  echo "== bench smoke =="
+  cmake --build "$build_dir" -j "$jobs" --target bench_all
+  smoke_dir="$build_dir/bench-smoke"
+  mkdir -p "$smoke_dir"
+  OMNIBOOST_BENCH_SMOKE=1
+  OMNIBOOST_ESTIMATOR_CACHE="$smoke_dir/estimator.bin"
+  OMNIBOOST_BENCH_JSON_DIR="$smoke_dir"
+  export OMNIBOOST_BENCH_SMOKE OMNIBOOST_ESTIMATOR_CACHE OMNIBOOST_BENCH_JSON_DIR
+  for bench in "$build_dir"/bench_*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    printf -- '-- %s ... ' "$name"
+    if "$bench" > "$smoke_dir/$name.log" 2>&1; then
+      echo "ok"
+    else
+      echo "FAILED"
+      echo "run_tier1.sh: bench smoke failed: $name" >&2
+      echo "--- last 30 log lines ($smoke_dir/$name.log) ---" >&2
+      tail -n 30 "$smoke_dir/$name.log" >&2
+      exit 1
+    fi
+  done
+  echo "== bench smoke PASS =="
+fi
 
 echo "== tier-1 PASS =="
