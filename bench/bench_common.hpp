@@ -20,6 +20,7 @@
 #include "sched/mosaic.hpp"
 #include "sim/analytic.hpp"
 #include "util/json.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
 
@@ -164,6 +165,37 @@ inline void emit_json(const std::string& name, const util::Table& t) {
     return cols;
   }());
   doc.set("rows", std::move(rows));
+  // Per-column summary: mean/stddev/min/max/count over the table's ROWS
+  // for every fully-numeric column, emitted for all drivers that publish
+  // through bench::report. Note the semantics: this is cross-row spread
+  // (useful when rows are homogeneous sweeps, e.g. per-mix results), NOT
+  // run-to-run load variance — timing tables publish that as explicit
+  // per-row "sigma" columns computed over their repeats.
+  util::Json stats = util::Json::object();
+  for (std::size_t col = 0; col < t.header().size(); ++col) {
+    util::RunningStats rs;
+    bool numeric = !t.data().empty();
+    for (const auto& row : t.data()) {
+      const std::string& cell = row[col];
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (cell.empty() || end != cell.c_str() + cell.size() ||
+          !std::isfinite(v)) {
+        numeric = false;
+        break;
+      }
+      rs.add(v);
+    }
+    if (!numeric) continue;
+    util::Json s = util::Json::object();
+    s.set("mean", util::Json::number(rs.mean()));
+    s.set("stddev", util::Json::number(rs.stddev()));
+    s.set("min", util::Json::number(rs.min()));
+    s.set("max", util::Json::number(rs.max()));
+    s.set("count", util::Json::number(static_cast<double>(rs.count())));
+    stats.set(t.header()[col], std::move(s));
+  }
+  doc.set("column_stats", std::move(stats));
   const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
   std::ofstream out(path);
   out << doc.dump(2) << '\n';

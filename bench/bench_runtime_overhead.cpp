@@ -10,11 +10,23 @@
 /// milliseconds here because the estimator is native C++ rather than a
 /// Python stack).
 
+// google-benchmark powers the micro-benchmark section only; the result
+// tables (and their JSON exports) must not disappear on hosts without it.
+#ifdef OMNIBOOST_HAVE_GBENCH
 #include <benchmark/benchmark.h>
+#endif
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
+#include <memory>
+#include <sstream>
+#include <utility>
 
+#include "nn/kernel.hpp"
+#include "nn/layers.hpp"
+#include "tensor/tensor.hpp"
 #include "bench_common.hpp"
 
 using namespace omniboost;
@@ -32,6 +44,8 @@ const workload::Workload& mix() {
        models::ModelId::kInceptionV3, models::ModelId::kMobileNet}};
   return w;
 }
+
+#ifdef OMNIBOOST_HAVE_GBENCH
 
 void BM_BaselineDecision(benchmark::State& state) {
   auto sched = sched::AllOnScheduler::gpu_baseline(ctx().zoo());
@@ -89,7 +103,71 @@ void BM_BoardMeasurement(benchmark::State& state) {
 }
 BENCHMARK(BM_BoardMeasurement)->Unit(benchmark::kMillisecond);
 
+#endif  // OMNIBOOST_HAVE_GBENCH
+
 }  // namespace
+
+/// Wall-clock of \p fn over \p repeats runs: the minimum (the work is
+/// deterministic, so the minimum is the run least disturbed by background
+/// load) plus the run-to-run stddev, which the tables publish as explicit
+/// sigma columns — that is the genuine load-variance signal (the
+/// column_stats block in the JSON summarizes across *rows*, not runs).
+struct TimedRuns {
+  double min_s = std::numeric_limits<double>::infinity();
+  double stddev_s = 0.0;
+};
+
+template <typename Fn>
+TimedRuns timed_runs(std::size_t repeats, const Fn& fn) {
+  TimedRuns out;
+  util::RunningStats rs;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    rs.add(s);
+    out.min_s = std::min(out.min_s, s);
+  }
+  out.stddev_s = rs.stddev();
+  return out;
+}
+
+/// One row of the compute-kernel table: a conv stage of the estimator CNN
+/// timed under the reference and gemm kernels at the production wave
+/// width, with the max output deviation proving the two lowerings agree.
+/// Returns {reference ms, gemm ms} so the caller can publish an aggregate.
+std::pair<double, double> add_kernel_row(util::Table& t, const char* label,
+                                         nn::Module& ref, nn::Module& gemm,
+                                         const tensor::Tensor& x,
+                                         std::size_t inner_reps,
+                                         std::size_t repeats) {
+  ref.set_kernel(nn::KernelKind::kReference);
+  gemm.set_kernel(nn::KernelKind::kGemm);
+  const tensor::Tensor ya = ref.forward(x);
+  const tensor::Tensor yb = gemm.forward(x);
+  double max_delta = 0.0;
+  for (std::size_t i = 0; i < ya.size(); ++i)
+    max_delta = std::max(
+        max_delta, std::fabs(static_cast<double>(ya[i]) - yb[i]));
+
+  const double scale = 1e3 / static_cast<double>(inner_reps);
+  const TimedRuns ref_t = timed_runs(repeats, [&] {
+    for (std::size_t i = 0; i < inner_reps; ++i) ref.forward(x);
+  });
+  const TimedRuns gemm_t = timed_runs(repeats, [&] {
+    for (std::size_t i = 0; i < inner_reps; ++i) gemm.forward(x);
+  });
+  const double ref_ms = scale * ref_t.min_s;
+  const double gemm_ms = scale * gemm_t.min_s;
+  t.add_row({label, std::to_string(x.extent(0)), util::fmt(ref_ms, 3),
+             util::fmt(gemm_ms, 3), util::fmt(ref_ms / gemm_ms, 2),
+             util::fmt(scale * ref_t.stddev_s, 3),
+             util::fmt(scale * gemm_t.stddev_s, 3),
+             util::fmt(max_delta * 1e6, 3)});
+  return {ref_ms, gemm_ms};
+}
 
 /// Decision latency of one OmniBoost evaluate-path variant: the minimum
 /// over \p repeats decisions at a fixed rollout budget (min, not mean — the
@@ -168,6 +246,131 @@ int main(int argc, char** argv) {
   add_variant_row(bt, "batched+cache", 16, true, budget, repeats, &scalar_ms);
   bench::report("runtime_overhead_batching", bt);
 
+  // Compute-kernel ablation: every conv stage of the estimator CNN, the
+  // full batched CNN forward, and the end-to-end decision, each timed under
+  // the bit-frozen reference loops vs the im2col+GEMM lowering
+  // (nn::KernelKind). "max |delta|" certifies equal results: the largest
+  // element-wise output difference, in units of 1e-6.
+  {
+    const std::size_t m = ctx().embedding().models_dim();
+    const std::size_t l = ctx().embedding().layers_dim();
+    const std::size_t wave = 16;  // production expansion-wave width
+    const std::size_t kernel_reps = bench::scaled(50, 5);
+    const std::size_t kernel_repeats = bench::scaled(5, 2);
+    std::printf("\ncompute kernels, reference vs gemm (batch %zu, min of %zu "
+                "x %zu forwards):\n",
+                wave, kernel_repeats, kernel_reps);
+    util::Table kt({"stage", "batch", "reference (ms)", "gemm (ms)",
+                    "speedup", "ref sigma (ms)", "gemm sigma (ms)",
+                    "max |delta| (1e-6)"});
+
+    struct Stage {
+      const char* label;
+      std::size_t in_ch, out_ch, h, w;
+    };
+    const Stage stages[] = {
+        {"conv 3->8 (stem)", 3, 8, m, l},
+        {"conv 8->16", 8, 16, m / 2, l / 2},
+        {"conv 16->16 (residual)", 16, 16, m / 4, l / 4},
+        {"conv 16->24", 16, 24, m / 4, l / 4},
+        {"conv 24->24 (residual)", 24, 24, m / 4, l / 4},
+    };
+    util::Rng rng(7);
+    double conv_ref_ms = 0.0, conv_gemm_ms = 0.0;
+    for (const Stage& s : stages) {
+      util::Rng init_a(11), init_b(11);
+      nn::Conv2d ref(s.in_ch, s.out_ch, 3, 1, 1);
+      nn::Conv2d gemm(s.in_ch, s.out_ch, 3, 1, 1);
+      ref.init(init_a);
+      gemm.init(init_b);
+      tensor::Tensor x({wave, s.in_ch, s.h, s.w});
+      for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      const auto [r_ms, g_ms] =
+          add_kernel_row(kt, s.label, ref, gemm, x, kernel_reps,
+                         kernel_repeats);
+      conv_ref_ms += r_ms;
+      conv_gemm_ms += g_ms;
+    }
+    // The headline: all conv-forward work of one batched CNN traversal.
+    kt.add_row({"conv forward total (5 stages)", std::to_string(wave),
+                util::fmt(conv_ref_ms, 3), util::fmt(conv_gemm_ms, 3),
+                util::fmt(conv_ref_ms / conv_gemm_ms, 2), "-", "-", "-"});
+
+    // Full CNN forward: one batched reward query per kernel kind.
+    {
+      auto est = ctx().estimator();
+      std::stringstream blob;
+      est->save(blob);
+      auto make_clone = [&blob](nn::KernelKind kind) {
+        std::istringstream is(blob.str());
+        auto clone = std::make_unique<core::ThroughputEstimator>(
+            core::ThroughputEstimator::load(is));
+        clone->set_kernel(kind);
+        return clone;
+      };
+      const auto ref_est = make_clone(nn::KernelKind::kReference);
+      const auto gemm_est = make_clone(nn::KernelKind::kGemm);
+      const auto counts = mix().layer_counts(ctx().zoo());
+      const std::vector<tensor::Tensor> inputs(
+          wave,
+          ctx().embedding().masked_input(
+              mix(), sim::Mapping::all_on(counts, device::ComponentId::kGpu)));
+      const auto ra = ref_est->predict_rewards(inputs);
+      const auto rb = gemm_est->predict_rewards(inputs);
+      double max_delta = 0.0;
+      for (std::size_t i = 0; i < ra.size(); ++i)
+        max_delta = std::max(max_delta, std::fabs(ra[i] - rb[i]));
+      const double scale = 1e3 / static_cast<double>(kernel_reps);
+      const TimedRuns ref_t = timed_runs(kernel_repeats, [&] {
+        for (std::size_t i = 0; i < kernel_reps; ++i)
+          ref_est->predict_rewards(inputs);
+      });
+      const TimedRuns gemm_t = timed_runs(kernel_repeats, [&] {
+        for (std::size_t i = 0; i < kernel_reps; ++i)
+          gemm_est->predict_rewards(inputs);
+      });
+      kt.add_row({"estimator CNN forward", std::to_string(wave),
+                  util::fmt(scale * ref_t.min_s, 3),
+                  util::fmt(scale * gemm_t.min_s, 3),
+                  util::fmt(ref_t.min_s / gemm_t.min_s, 2),
+                  util::fmt(scale * ref_t.stddev_s, 3),
+                  util::fmt(scale * gemm_t.stddev_s, 3),
+                  util::fmt(max_delta * 1e6, 3)});
+    }
+
+    // End-to-end decision under each kernel (same budget as the batching
+    // table; wave-width batches, cache on — the production configuration).
+    {
+      TimedRuns runs[2];
+      double reward[2];
+      int i = 0;
+      for (const nn::KernelKind kind :
+           {nn::KernelKind::kReference, nn::KernelKind::kGemm}) {
+        core::OmniBoostConfig cfg;
+        cfg.mcts.budget = budget;
+        cfg.batch_size = 16;
+        cfg.kernel = kind;
+        core::OmniBoostScheduler sched(ctx().zoo(), ctx().embedding(),
+                                       ctx().estimator(), cfg);
+        core::ScheduleResult r;
+        runs[i] = timed_runs(kernel_repeats,
+                             [&] { r = sched.schedule(mix()); });
+        reward[i] = r.expected_reward;
+        ++i;
+      }
+      kt.add_row({"decision (500 rollouts)", "16",
+                  util::fmt(1e3 * runs[0].min_s, 1),
+                  util::fmt(1e3 * runs[1].min_s, 1),
+                  util::fmt(runs[0].min_s / runs[1].min_s, 2),
+                  util::fmt(1e3 * runs[0].stddev_s, 1),
+                  util::fmt(1e3 * runs[1].stddev_s, 1),
+                  util::fmt(std::fabs(reward[0] - reward[1]) * 1e6, 3)});
+    }
+    bench::report("runtime_overhead_kernels", kt);
+  }
+
+#ifdef OMNIBOOST_HAVE_GBENCH
   if (bench::smoke()) {
     std::printf("\n[smoke] skipping google-benchmark micro-benchmarks\n");
     return 0;
@@ -177,5 +380,11 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+#else
+  (void)argc;
+  (void)argv;
+  std::printf("\n[info] built without google-benchmark; micro-benchmark "
+              "section skipped\n");
+#endif
   return 0;
 }

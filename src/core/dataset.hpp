@@ -20,6 +20,22 @@ struct DatasetConfig {
   std::size_t max_mix = 5;
   std::size_t stage_limit = 3;
   std::uint64_t seed = 42;
+  /// Design-time parallelism.
+  ///
+  ///  * 0 (default) — the original strictly sequential pipeline: every draw
+  ///    comes from ONE rng stream, infeasible workloads are redrawn from
+  ///    that same stream. This order is bit-frozen across releases; the
+  ///    paper campaigns (and the cached estimators trained from them) are
+  ///    reproducible from the seed only on this path.
+  ///  * >= 1 — the slot-seeded parallel pipeline: sample i is drawn from
+  ///    its own private stream Rng(util::fork_stream(seed, i)) (redraws
+  ///    included) on a util::ThreadPool of that many workers, each worker
+  ///    owning a private DesSimulator clone, with results written into
+  ///    slot i (ordered reduction). Output is byte-identical for EVERY
+  ///    worker count >= 1 — but it is a different (equally valid) campaign
+  ///    than the workers == 0 stream, so don't flip this knob under a
+  ///    pinned experiment.
+  std::size_t workers = 0;
 };
 
 /// Generates the estimator's training set by "running" random workloads on

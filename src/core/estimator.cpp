@@ -41,6 +41,25 @@ std::unique_ptr<nn::Module> make_residual(std::size_t ch, bool use_gelu) {
   return std::make_unique<nn::Residual>(std::move(body));
 }
 
+/// Builds the ResNet9-style body (paper §IV-B): pooled stem, two residual
+/// stages, global pooling and a 3-unit linear regression head (no output
+/// activation). Early pooling keeps the forward/backward pass cheap enough
+/// to train in well under a minute on a CPU, as the paper reports for its
+/// GPU setup. Shared by the constructor and the validation-replica factory.
+std::unique_ptr<nn::Sequential> build_net(const EstimatorConfig& config) {
+  auto net = std::make_unique<nn::Sequential>();
+  add_conv_block(*net, device::kNumComponents, config.c1, config.use_gelu);
+  net->emplace<nn::MaxPool2d>(2);
+  add_conv_block(*net, config.c1, config.c2, config.use_gelu);
+  net->emplace<nn::MaxPool2d>(2);
+  net->add(make_residual(config.c2, config.use_gelu));
+  add_conv_block(*net, config.c2, config.c3, config.use_gelu);
+  net->add(make_residual(config.c3, config.use_gelu));
+  net->emplace<nn::GlobalAvgPool>();
+  net->emplace<nn::Linear>(config.c3, 3);
+  return net;
+}
+
 }  // namespace
 
 ThroughputEstimator::ThroughputEstimator(std::size_t models_dim,
@@ -51,25 +70,16 @@ ThroughputEstimator::ThroughputEstimator(std::size_t models_dim,
              "ThroughputEstimator: embedding too small for the CNN");
   for (auto& t : target_transform_) t = util::Affine1D{};
 
-  // ResNet9-style body (paper §IV-B): pooled stem, two residual stages,
-  // global pooling and a 3-unit linear regression head (no output
-  // activation). Early pooling keeps the forward/backward pass cheap enough
-  // to train in well under a minute on a CPU, as the paper reports for its
-  // GPU setup.
-  net_ = std::make_unique<nn::Sequential>();
-  add_conv_block(*net_, device::kNumComponents, config.c1, config.use_gelu);
-  net_->emplace<nn::MaxPool2d>(2);
-  add_conv_block(*net_, config.c1, config.c2, config.use_gelu);
-  net_->emplace<nn::MaxPool2d>(2);
-  net_->add(make_residual(config.c2, config.use_gelu));
-  add_conv_block(*net_, config.c2, config.c3, config.use_gelu);
-  net_->add(make_residual(config.c3, config.use_gelu));
-  net_->emplace<nn::GlobalAvgPool>();
-  net_->emplace<nn::Linear>(config.c3, 3);
+  net_ = build_net(config);
 
   util::Rng rng(config.init_seed);
   net_->init(rng);
   net_->set_training(false);
+}
+
+void ThroughputEstimator::set_kernel(nn::KernelKind kind) {
+  kernel_kind_ = kind;
+  net_->set_kernel(kind);
 }
 
 std::size_t ThroughputEstimator::num_params() const {
@@ -113,9 +123,23 @@ nn::TrainHistory ThroughputEstimator::fit(const SampleSet& data,
   }
   auto [train_set, val_set] = all.split_tail(val_count);
 
+  // Give the parallel validation pass (TrainConfig::workers > 1) a replica
+  // factory that rebuilds this exact architecture with this instance's
+  // kernel kind, unless the caller supplied one.
+  nn::TrainConfig tc = train;
+  if (tc.workers > 1 && tc.replicate == nullptr) {
+    const EstimatorConfig config = config_;
+    const nn::KernelKind kind = kernel_kind_;
+    tc.replicate = [config, kind]() -> std::unique_ptr<nn::Module> {
+      auto net = build_net(config);
+      net->set_kernel(kind);
+      return net;
+    };
+  }
+
   net_->set_training(true);
   nn::TrainHistory history =
-      nn::train_regression(*net_, loss, train_set, val_set, train);
+      nn::train_regression(*net_, loss, train_set, val_set, tc);
   net_->set_training(false);
   trained_ = true;
   return history;

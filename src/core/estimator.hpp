@@ -95,6 +95,15 @@ class ThroughputEstimator {
 
   bool trained() const { return trained_; }
 
+  /// Compute-kernel selection for the CNN's Conv2d/Linear layers (see
+  /// nn/kernel.hpp). A freshly constructed or loaded estimator uses
+  /// nn::default_kernel(); this switches every layer of this instance. The
+  /// kernel kind is execution state, not model state — it is NOT serialized,
+  /// and both kinds predict within 1e-6 of each other (only kReference is
+  /// bit-frozen against the paper campaigns).
+  void set_kernel(nn::KernelKind kind);
+  nn::KernelKind kernel() const { return kernel_kind_; }
+
   /// Serializes architecture configuration, fitted target preprocessing and
   /// network weights (design-time artifact for the run-time scheduler).
   void save(std::ostream& os) const;
@@ -115,6 +124,7 @@ class ThroughputEstimator {
   std::array<util::Affine1D, 3> target_transform_;
   std::size_t models_dim_, layers_dim_;
   EstimatorConfig config_;
+  nn::KernelKind kernel_kind_ = nn::default_kernel();
   bool trained_ = false;
 };
 

@@ -123,14 +123,15 @@ MctsResult parallel_mcts_search_batched(
     return search.search();
   }
 
-  // Budget split (remainder to the first workers); seeds forked from the
-  // master seed so the run is reproducible regardless of thread timing.
-  util::Rng seeder(config.seed);
+  // Budget split (remainder to the first workers); each worker's seed is a
+  // stateless fork of the master seed by worker index (util::fork_stream),
+  // so the run is reproducible regardless of thread timing and worker w's
+  // tree is the same no matter how many siblings it has.
   std::vector<MctsConfig> configs(workers, config);
   for (std::size_t w = 0; w < workers; ++w) {
     configs[w].budget = config.budget / workers +
                         (w < config.budget % workers ? 1 : 0);
-    configs[w].seed = seeder();
+    configs[w].seed = util::fork_stream(config.seed, w);
   }
 
   std::vector<MctsResult> results(workers);

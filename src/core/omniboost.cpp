@@ -54,6 +54,20 @@ ScheduleResult OmniBoostScheduler::schedule(const workload::Workload& w) {
   mcts.batch_size = config_.batch_size;
   mcts.cache = config_.cache;
 
+  // Kernel selection: the shared estimator is immutable, so a non-matching
+  // kernel request is served by a private clone (serialization round-trip —
+  // bit-exact weights and preprocessing, ~20k parameters, microseconds).
+  std::shared_ptr<const ThroughputEstimator> active = estimator_;
+  if (active->kernel() != config_.kernel) {
+    std::stringstream weights;
+    active->save(weights);
+    std::istringstream is(weights.str());
+    auto clone =
+        std::make_shared<ThroughputEstimator>(ThroughputEstimator::load(is));
+    clone->set_kernel(config_.kernel);
+    active = std::move(clone);
+  }
+
   // Renders a wave of mappings and scores it with ONE batched CNN forward
   // pass through the given estimator instance.
   const auto batch_evaluator =
@@ -71,20 +85,23 @@ ScheduleResult OmniBoostScheduler::schedule(const workload::Workload& w) {
 
   MctsResult r;
   if (config_.workers <= 1) {
-    Mcts search(w.layer_counts(*zoo_), batch_evaluator(estimator_), mcts);
+    Mcts search(w.layer_counts(*zoo_), batch_evaluator(active), mcts);
     r = search.search();
   } else {
     // Root-parallel: the CNN forward pass mutates activation caches, so each
     // worker needs a private estimator. Clone through the serialization path
-    // (bit-exact weights and preprocessing; ~20k parameters, microseconds).
+    // (bit-exact weights and preprocessing; ~20k parameters, microseconds),
+    // stamping the configured kernel kind onto every clone.
     std::stringstream weights;
-    estimator_->save(weights);
+    active->save(weights);
     const std::string blob = weights.str();
-    const BatchEvaluatorFactory factory = [&batch_evaluator,
-                                           blob]() -> BatchMappingEvaluator {
+    const nn::KernelKind kernel = config_.kernel;
+    const BatchEvaluatorFactory factory = [&batch_evaluator, blob,
+                                           kernel]() -> BatchMappingEvaluator {
       std::istringstream is(blob);
       auto clone =
           std::make_shared<ThroughputEstimator>(ThroughputEstimator::load(is));
+      clone->set_kernel(kernel);
       return batch_evaluator(std::move(clone));
     };
     r = parallel_mcts_search_batched(w.layer_counts(*zoo_), factory, mcts,

@@ -38,6 +38,13 @@ struct OmniBoostConfig {
   /// bit-exactly, so this changes only the evaluations/cache_hits split,
   /// never the decision.
   bool cache = true;
+  /// Compute kernel for the estimator's CNN layers (nn/kernel.hpp).
+  /// schedule() runs the search against an estimator with this kernel kind,
+  /// cloning the shared instance on mismatch (the shared estimator is never
+  /// mutated). kReference together with {batch_size = 1, workers = 1}
+  /// reproduces the paper's sequential search bit-for-bit; kGemm is faster
+  /// and deterministic, matching within float rounding (<= 1e-6).
+  nn::KernelKind kernel = nn::default_kernel();
 };
 
 /// Production scheduler: estimator-guided Monte Carlo Tree Search.

@@ -1,7 +1,9 @@
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "nn/layers.hpp"
+#include "tensor/gemm.hpp"
 #include "util/require.hpp"
 
 namespace omniboost::nn {
@@ -63,13 +65,22 @@ Tensor Conv2d::forward(const Tensor& x) {
   OB_REQUIRE(x.extent(1) == in_ch_, "Conv2d: channel mismatch");
   input_ = x;
 
-  const std::size_t n = x.extent(0), h = x.extent(2), w = x.extent(3);
+  const std::size_t h = x.extent(2), w = x.extent(3);
   OB_REQUIRE(h + 2 * padding_ >= kernel_ && w + 2 * padding_ >= kernel_,
              "Conv2d: input smaller than kernel");
   const std::size_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
   const std::size_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  Tensor y({x.extent(0), out_ch_, oh, ow});
 
-  Tensor y({n, out_ch_, oh, ow});
+  return kernel_kind_ == KernelKind::kGemm ? forward_gemm(x, std::move(y))
+                                           : forward_reference(x, std::move(y));
+}
+
+// The bit-frozen paper path: weight-stationary nested loops, unchanged from
+// the seed tree (the {kernel = reference} campaigns reproduce bit-for-bit).
+Tensor Conv2d::forward_reference(const Tensor& x, Tensor y) const {
+  const std::size_t n = x.extent(0), h = x.extent(2), w = x.extent(3);
+  const std::size_t oh = y.extent(2), ow = y.extent(3);
   const float* xd = x.data();
   const float* wd = weight_.value.data();
   float* yd = y.data();
@@ -130,13 +141,80 @@ Tensor Conv2d::forward(const Tensor& x) {
   return y;
 }
 
+// im2col + GEMM lowering, batched: the whole batch is lowered into ONE
+// column matrix cols (K x n*P), K = in_ch*k*k and P = oh*ow, with sample b
+// owning columns [b*P, (b+1)*P). A single GEMM against the weight matrix
+// then serves the entire batch — the blocked kernel amortizes its packing
+// over the full expansion wave — and the (out_ch x n*P) product is
+// scattered back to NCHW with the bias folded into the scatter.
+Tensor Conv2d::forward_gemm(const Tensor& x, Tensor y) const {
+  const std::size_t n = x.extent(0), h = x.extent(2), w = x.extent(3);
+  const std::size_t oh = y.extent(2), ow = y.extent(3);
+  const std::size_t patch = in_ch_ * kernel_ * kernel_;  // GEMM K
+  const std::size_t pixels = oh * ow;                    // per-sample columns
+  const std::size_t width = n * pixels;                  // GEMM N
+  const bool identity_cols =
+      kernel_ == 1 && stride_ == 1 && padding_ == 0;
+
+  // Reused scratch. thread_local, not members: layer instances are single-
+  // threaded by the module contract, but pool workers run their own layer
+  // clones concurrently and must not share buffers.
+  static thread_local std::vector<float> cols;
+  static thread_local std::vector<float> sample_cols;
+  static thread_local std::vector<float> product;
+  cols.resize(patch * width);
+  product.resize(out_ch_ * width);
+
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* xplane = x.data() + b * in_ch_ * h * w;
+    const float* block = xplane;  // 1x1 fast path: the plane is the block
+    if (!identity_cols) {
+      sample_cols.resize(patch * pixels);
+      tensor::im2col(xplane, in_ch_, h, w, kernel_, stride_, padding_,
+                     sample_cols.data());
+      block = sample_cols.data();
+    }
+    // Interleave the (K x P) sample block into the batch-wide matrix.
+    for (std::size_t row = 0; row < patch; ++row)
+      std::copy(block + row * pixels, block + (row + 1) * pixels,
+                cols.data() + row * width + b * pixels);
+  }
+
+  tensor::gemm(false, false, out_ch_, width, patch, 1.0f,
+               weight_.value.data(), patch, cols.data(), width, 0.0f,
+               product.data(), width);
+
+  // Scatter (out_ch x n*P) -> (n, out_ch, P), bias folded in.
+  for (std::size_t b = 0; b < n; ++b) {
+    float* yplane = y.data() + b * out_ch_ * pixels;
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float* src = product.data() + oc * width + b * pixels;
+      float* dst = yplane + oc * pixels;
+      if (has_bias_) {
+        const float bias = bias_.value[oc];
+        for (std::size_t i = 0; i < pixels; ++i) dst[i] = src[i] + bias;
+      } else {
+        std::copy(src, src + pixels, dst);
+      }
+    }
+  }
+  return y;
+}
+
 Tensor Conv2d::backward(const Tensor& grad_out) {
   OB_REQUIRE(!input_.empty(), "Conv2d::backward before forward");
+  const std::size_t n = input_.extent(0);
+  OB_REQUIRE(grad_out.extent(0) == n && grad_out.extent(1) == out_ch_,
+             "Conv2d::backward: grad shape mismatch");
+  return kernel_kind_ == KernelKind::kGemm ? backward_gemm(grad_out)
+                                           : backward_reference(grad_out);
+}
+
+// The bit-frozen paper path (unchanged from the seed tree).
+Tensor Conv2d::backward_reference(const Tensor& grad_out) {
   const Tensor& x = input_;
   const std::size_t n = x.extent(0), h = x.extent(2), w = x.extent(3);
   const std::size_t oh = grad_out.extent(2), ow = grad_out.extent(3);
-  OB_REQUIRE(grad_out.extent(0) == n && grad_out.extent(1) == out_ch_,
-             "Conv2d::backward: grad shape mismatch");
 
   Tensor gx(x.shape());
   const float* xd = x.data();
@@ -197,6 +275,63 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
           }
         }
       }
+    }
+  }
+  return gx;
+}
+
+// GEMM lowering of both gradients, per sample b:
+//   gW   += gy_b (out_ch x P) * cols_b^T (P x K)          [accumulating GEMM]
+//   gcols = W^T  (K x out_ch) * gy_b    (out_ch x P)      [then col2im -> gx]
+// with K = in_ch*k*k and P = oh*ow. cols_b is recomputed from the cached
+// input (cheaper than caching it for the whole batch).
+Tensor Conv2d::backward_gemm(const Tensor& grad_out) {
+  const Tensor& x = input_;
+  const std::size_t n = x.extent(0), h = x.extent(2), w = x.extent(3);
+  const std::size_t oh = grad_out.extent(2), ow = grad_out.extent(3);
+  const std::size_t patch = in_ch_ * kernel_ * kernel_;
+  const std::size_t pixels = oh * ow;
+  const bool identity_cols =
+      kernel_ == 1 && stride_ == 1 && padding_ == 0;
+
+  Tensor gx(x.shape());
+  std::vector<float> cols;
+  if (!identity_cols) cols.resize(patch * pixels);
+  std::vector<float> gcols(patch * pixels);
+  const float* wd = weight_.value.data();
+  float* gwd = weight_.grad.data();
+  float* gbd = bias_.grad.data();
+
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* xplane = x.data() + b * in_ch_ * h * w;
+    const float* gplane = grad_out.data() + b * out_ch_ * pixels;
+    float* gxplane = gx.data() + b * in_ch_ * h * w;
+
+    if (has_bias_) {
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        const float* grow = gplane + oc * pixels;
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < pixels; ++i) acc += grow[i];
+        gbd[oc] += acc;
+      }
+    }
+
+    const float* colp = xplane;
+    if (!identity_cols) {
+      tensor::im2col(xplane, in_ch_, h, w, kernel_, stride_, padding_,
+                     cols.data());
+      colp = cols.data();
+    }
+    tensor::gemm(false, true, out_ch_, patch, pixels, 1.0f, gplane, pixels,
+                 colp, pixels, 1.0f, gwd, patch);
+    if (identity_cols) {
+      tensor::gemm(true, false, patch, pixels, out_ch_, 1.0f, wd, patch,
+                   gplane, pixels, 0.0f, gxplane, pixels);
+    } else {
+      tensor::gemm(true, false, patch, pixels, out_ch_, 1.0f, wd, patch,
+                   gplane, pixels, 0.0f, gcols.data(), pixels);
+      tensor::col2im(gcols.data(), in_ch_, h, w, kernel_, stride_, padding_,
+                     gxplane);
     }
   }
   return gx;

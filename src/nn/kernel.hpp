@@ -1,0 +1,40 @@
+#pragma once
+/// \file kernel.hpp
+/// Kernel selection for the compute-heavy layers (Conv2d, Linear).
+///
+/// Two interchangeable lowerings exist for each layer:
+///  * kReference — the original naive nested loops. Bit-frozen: this path
+///    is what the paper-reproduction campaigns ran, so it must never change
+///    numerically ({kernel = reference} reproduces the seed search
+///    bit-for-bit; pinned by tests/nn_kernel_test.cpp).
+///  * kGemm — im2col + cache-blocked GEMM (tensor/gemm.hpp). Faster, and
+///    deterministic run-to-run, but its fixed summation order differs from
+///    the reference, so outputs match within float rounding (<= 1e-6 on the
+///    estimator's value ranges), not bitwise.
+///
+/// Layers capture the process-wide default at construction time
+/// (set_default_kernel) and can be switched per instance afterwards via
+/// Module::set_kernel, which containers propagate recursively.
+
+#include <string>
+
+namespace omniboost::nn {
+
+enum class KernelKind {
+  kReference,  ///< naive nested loops (the paper path, bit-frozen)
+  kGemm,       ///< im2col + blocked GEMM lowering (default)
+};
+
+/// Process-wide kernel default picked up by layer constructors. Starts as
+/// kGemm. Not thread-safe against concurrent set_default_kernel — set it
+/// once at startup (the CLI's --kernel flag), before building networks.
+KernelKind default_kernel();
+void set_default_kernel(KernelKind kind);
+
+/// "reference" / "gemm".
+const char* kernel_name(KernelKind kind);
+
+/// Parses "reference" / "gemm"; throws std::invalid_argument otherwise.
+KernelKind parse_kernel_name(const std::string& name);
+
+}  // namespace omniboost::nn

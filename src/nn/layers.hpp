@@ -27,14 +27,23 @@ class Conv2d final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   void init(util::Rng& rng) override;  ///< Kaiming-normal weights, zero bias
+  void set_kernel(KernelKind kind) override { kernel_kind_ = kind; }
+  KernelKind kernel_kind() const { return kernel_kind_; }
   std::string name() const override { return "Conv2d"; }
 
   std::size_t in_channels() const { return in_ch_; }
   std::size_t out_channels() const { return out_ch_; }
 
  private:
+  Tensor forward_reference(const Tensor& x, Tensor y) const;
+  Tensor forward_gemm(const Tensor& x, Tensor y) const;
+  Tensor backward_reference(const Tensor& grad_out);
+  Tensor backward_gemm(const Tensor& grad_out);
+
   std::size_t in_ch_, out_ch_, kernel_, stride_, padding_;
   bool has_bias_;
+  /// Active lowering; captured from nn::default_kernel() at construction.
+  KernelKind kernel_kind_ = default_kernel();
   Param weight_;  ///< (out_ch, in_ch, k, k)
   Param bias_;    ///< (out_ch)
   Tensor input_;  ///< cached forward input
@@ -49,11 +58,15 @@ class Linear final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   void init(util::Rng& rng) override;  ///< Kaiming-normal weights, zero bias
+  void set_kernel(KernelKind kind) override { kernel_kind_ = kind; }
+  KernelKind kernel_kind() const { return kernel_kind_; }
   std::string name() const override { return "Linear"; }
 
  private:
   std::size_t in_f_, out_f_;
   bool has_bias_;
+  /// Active lowering; captured from nn::default_kernel() at construction.
+  KernelKind kernel_kind_ = default_kernel();
   Param weight_;  ///< (out_features, in_features)
   Param bias_;    ///< (out_features)
   Tensor input_;

@@ -52,6 +52,10 @@ void Sequential::set_training(bool training) {
   for (auto& l : layers_) l->set_training(training);
 }
 
+void Sequential::set_kernel(KernelKind kind) {
+  for (auto& l : layers_) l->set_kernel(kind);
+}
+
 void Sequential::init(util::Rng& rng) {
   for (auto& l : layers_) l->init(rng);
 }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/kernel.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
@@ -68,6 +69,12 @@ class Module {
   virtual void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
 
+  /// Selects the compute kernel for layers that have more than one lowering
+  /// (Conv2d, Linear; see nn/kernel.hpp). Containers propagate recursively;
+  /// stateless layers ignore it. Both kinds are deterministic run-to-run;
+  /// only kReference is bit-frozen against the paper campaigns.
+  virtual void set_kernel(KernelKind /*kind*/) {}
+
   /// Randomly (re-)initializes the layer's parameters.
   virtual void init(util::Rng& /*rng*/) {}
 
@@ -103,6 +110,7 @@ class Sequential final : public Module {
   std::vector<Param*> params() override;
   std::vector<Tensor*> buffers() override;
   void set_training(bool training) override;
+  void set_kernel(KernelKind kind) override;
   void init(util::Rng& rng) override;
   std::string name() const override { return "Sequential"; }
 
@@ -126,6 +134,7 @@ class Residual final : public Module {
   std::vector<Param*> params() override { return body_->params(); }
   std::vector<Tensor*> buffers() override { return body_->buffers(); }
   void set_training(bool training) override;
+  void set_kernel(KernelKind kind) override { body_->set_kernel(kind); }
   void init(util::Rng& rng) override { body_->init(rng); }
   std::string name() const override { return "Residual"; }
 

@@ -59,6 +59,9 @@ class DesSimulator {
 
   const device::DeviceSpec& device() const { return cost_.device(); }
   const device::CostModel& cost_model() const { return cost_; }
+  /// Simulation controls — lets parallel pipelines build per-worker
+  /// simulator clones with identical settings (core::generate_dataset).
+  const DesConfig& config() const { return config_; }
 
  private:
   /// Shared event loop; \p trace may be null (plain measurement).

@@ -1,0 +1,262 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace omniboost::tensor {
+
+namespace {
+
+// Cache-blocking parameters. The packed A block (kMC x kKC floats) and one
+// B panel (kKC x kNR) sit comfortably in L1/L2 on any contemporary core;
+// the micro-tile accumulates a kMR x kNR register block so each packed
+// element is loaded once per tile instead of once per multiply-add.
+constexpr std::size_t kMC = 64;   // rows of op(A) per block
+constexpr std::size_t kKC = 128;  // shared dimension per block
+constexpr std::size_t kNC = 256;  // cols of op(B) per block
+// Micro-tile: 4x8 keeps the accumulator block at 8 SSE registers (the
+// portable baseline this library is compiled for — no -march flags, so the
+// bit-frozen reference numerics cannot pick up FMA contraction), leaving
+// room for the B row and the A broadcast without spilling.
+constexpr std::size_t kMR = 4;    // micro-tile rows
+constexpr std::size_t kNR = 8;    // micro-tile cols
+
+/// Element (r, c) of op(X) where the stored matrix has row stride ld.
+inline float op_at(const float* x, std::size_t ld, bool trans, std::size_t r,
+                   std::size_t c) {
+  return trans ? x[c * ld + r] : x[r * ld + c];
+}
+
+/// Packs op(A)[i0:i0+mc, k0:k0+kc] into kMR-row panels: panel p holds rows
+/// [p*kMR, p*kMR+kMR), laid out k-major (buf[k*kMR + i]) so the micro-kernel
+/// streams it contiguously. Rows past mc are zero-padded — zeros fall out of
+/// the multiply, keeping the kernel branch-free.
+void pack_a(const float* a, std::size_t lda, bool trans, std::size_t i0,
+            std::size_t k0, std::size_t mc, std::size_t kc, float* buf) {
+  for (std::size_t p = 0; p < mc; p += kMR) {
+    const std::size_t rows = std::min(kMR, mc - p);
+    for (std::size_t k = 0; k < kc; ++k) {
+      for (std::size_t i = 0; i < kMR; ++i) {
+        *buf++ = i < rows ? op_at(a, lda, trans, i0 + p + i, k0 + k) : 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs op(B)[k0:k0+kc, j0:j0+nc] into kNR-column panels (buf[k*kNR + j]),
+/// zero-padding columns past nc.
+void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t k0,
+            std::size_t j0, std::size_t kc, std::size_t nc, float* buf) {
+  for (std::size_t p = 0; p < nc; p += kNR) {
+    const std::size_t cols = std::min(kNR, nc - p);
+    for (std::size_t k = 0; k < kc; ++k) {
+      for (std::size_t j = 0; j < kNR; ++j) {
+        *buf++ = j < cols ? op_at(b, ldb, trans, k0 + k, j0 + p + j) : 0.0f;
+      }
+    }
+  }
+}
+
+/// kMR x kNR register tile: acc = sum_k apanel[k]*bpanel[k], then folded
+/// into C with alpha (and beta on the first k-block only).
+void micro_kernel(const float* apanel, const float* bpanel, std::size_t kc,
+                  float alpha, float beta, bool first_kblock, float* c,
+                  std::size_t ldc, std::size_t rows, std::size_t cols) {
+  float acc[kMR][kNR] = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    const float* bk = bpanel + k * kNR;
+    const float* ak = apanel + k * kMR;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const float av = ak[i];
+      for (std::size_t j = 0; j < kNR; ++j) acc[i][j] += av * bk[j];
+    }
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* crow = c + i * ldc;
+    if (first_kblock) {
+      if (beta == 0.0f) {
+        for (std::size_t j = 0; j < cols; ++j) crow[j] = alpha * acc[i][j];
+      } else {
+        for (std::size_t j = 0; j < cols; ++j)
+          crow[j] = beta * crow[j] + alpha * acc[i][j];
+      }
+    } else {
+      for (std::size_t j = 0; j < cols; ++j) crow[j] += alpha * acc[i][j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc) {
+  OB_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
+             "gemm: null operand");
+  OB_REQUIRE(lda >= (trans_a ? m : k), "gemm: lda too small");
+  OB_REQUIRE(ldb >= (trans_b ? k : n), "gemm: ldb too small");
+  OB_REQUIRE(ldc >= n, "gemm: ldc too small");
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    // Pure beta-scaling of C (and beta == 0 must overwrite, not multiply).
+    for (std::size_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      if (beta == 0.0f) {
+        std::fill(crow, crow + n, 0.0f);
+      } else if (beta != 1.0f) {
+        for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+    }
+    return;
+  }
+
+  // Packing scratch, rounded up to whole micro-panels. Reused across calls
+  // (thread_local: kernels may run concurrently on pool workers); sized by
+  // the fixed block caps, so it stops growing after the first large call.
+  static thread_local std::vector<float> apack;
+  static thread_local std::vector<float> bpack;
+  apack.resize(((std::min(m, kMC) + kMR - 1) / kMR) * kMR *
+               std::min(k, kKC));
+  bpack.resize(((std::min(n, kNC) + kNR - 1) / kNR) * kNR *
+               std::min(k, kKC));
+
+  for (std::size_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::size_t nc = std::min(kNC, n - j0);
+    const std::size_t npanels = (nc + kNR - 1) / kNR;
+    for (std::size_t k0 = 0; k0 < k; k0 += kKC) {
+      const std::size_t kc = std::min(kKC, k - k0);
+      const bool first_kblock = k0 == 0;
+      pack_b(b, ldb, trans_b, k0, j0, kc, nc, bpack.data());
+      for (std::size_t i0 = 0; i0 < m; i0 += kMC) {
+        const std::size_t mc = std::min(kMC, m - i0);
+        const std::size_t mpanels = (mc + kMR - 1) / kMR;
+        pack_a(a, lda, trans_a, i0, k0, mc, kc, apack.data());
+        for (std::size_t pj = 0; pj < npanels; ++pj) {
+          const std::size_t j = pj * kNR;
+          const std::size_t cols = std::min(kNR, nc - j);
+          const float* bpanel = bpack.data() + pj * kc * kNR;
+          for (std::size_t pi = 0; pi < mpanels; ++pi) {
+            const std::size_t i = pi * kMR;
+            const std::size_t rows = std::min(kMR, mc - i);
+            micro_kernel(apack.data() + pi * kc * kMR, bpanel, kc, alpha,
+                         beta, first_kblock, c + (i0 + i) * ldc + j0 + j, ldc,
+                         rows, cols);
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  OB_REQUIRE(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
+  OB_REQUIRE(a.extent(1) == b.extent(0), "matmul: inner dimension mismatch");
+  Tensor c({a.extent(0), b.extent(1)});
+  gemm(false, false, a.extent(0), b.extent(1), a.extent(1), 1.0f, a.data(),
+       a.extent(1), b.data(), b.extent(1), 0.0f, c.data(), b.extent(1));
+  return c;
+}
+
+std::size_t conv_out_extent(std::size_t in, std::size_t kernel,
+                            std::size_t stride, std::size_t pad) {
+  OB_REQUIRE(kernel > 0 && stride > 0, "conv_out_extent: kernel/stride >= 1");
+  OB_REQUIRE(in + 2 * pad >= kernel, "conv_out_extent: input smaller than kernel");
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+void im2col(const float* img, std::size_t channels, std::size_t h,
+            std::size_t w, std::size_t kernel, std::size_t stride,
+            std::size_t pad, float* cols) {
+  const std::size_t oh = conv_out_extent(h, kernel, stride, pad);
+  const std::size_t ow = conv_out_extent(w, kernel, stride, pad);
+  float* dst = cols;  // rows stream in (c, ky, kx) order
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float* plane = img + c * h * w;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ky) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+            std::fill(dst, dst + ow, 0.0f);
+            dst += ow;
+            continue;
+          }
+          const float* row = plane + static_cast<std::size_t>(iy) * w;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                static_cast<std::ptrdiff_t>(pad);
+            *dst++ = (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w))
+                         ? 0.0f
+                         : row[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, std::size_t channels, std::size_t h,
+            std::size_t w, std::size_t kernel, std::size_t stride,
+            std::size_t pad, float* img) {
+  const std::size_t oh = conv_out_extent(h, kernel, stride, pad);
+  const std::size_t ow = conv_out_extent(w, kernel, stride, pad);
+  const float* src = cols;
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* plane = img + c * h * w;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ky) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+            src += ow;
+            continue;
+          }
+          float* row = plane + static_cast<std::size_t>(iy) * w;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                static_cast<std::ptrdiff_t>(pad);
+            const float v = *src++;
+            if (ix >= 0 && ix < static_cast<std::ptrdiff_t>(w))
+              row[static_cast<std::size_t>(ix)] += v;
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor im2col(const Tensor& img, std::size_t kernel, std::size_t stride,
+              std::size_t pad) {
+  OB_REQUIRE(img.rank() == 3, "im2col: (C, H, W) tensor required");
+  const std::size_t c = img.extent(0), h = img.extent(1), w = img.extent(2);
+  const std::size_t oh = conv_out_extent(h, kernel, stride, pad);
+  const std::size_t ow = conv_out_extent(w, kernel, stride, pad);
+  Tensor cols({c * kernel * kernel, oh * ow});
+  im2col(img.data(), c, h, w, kernel, stride, pad, cols.data());
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, std::size_t channels, std::size_t h,
+              std::size_t w, std::size_t kernel, std::size_t stride,
+              std::size_t pad) {
+  OB_REQUIRE(cols.rank() == 2, "col2im: (C*k*k, OH*OW) tensor required");
+  const std::size_t oh = conv_out_extent(h, kernel, stride, pad);
+  const std::size_t ow = conv_out_extent(w, kernel, stride, pad);
+  OB_REQUIRE(cols.extent(0) == channels * kernel * kernel &&
+                 cols.extent(1) == oh * ow,
+             "col2im: column matrix shape mismatch");
+  Tensor img({channels, h, w});
+  col2im(cols.data(), channels, h, w, kernel, stride, pad, img.data());
+  return img;
+}
+
+}  // namespace omniboost::tensor

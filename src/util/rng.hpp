@@ -125,4 +125,28 @@ class Rng {
   std::uint64_t state_[4]{};
 };
 
+/// Deterministically derives the seed of sub-stream \p index from a base
+/// seed — the canonical way to give each parallel task (MCTS worker, dataset
+/// slot, trainer replica) its own independent Rng:
+///
+///   util::Rng rng(util::fork_stream(master_seed, task_index));
+///
+/// Splitmix-style: the index is folded in with the golden-ratio increment
+/// and passed through two splitmix64 finalizer rounds, so nearby (seed,
+/// index) pairs land far apart and the mapping is stateless — unlike
+/// Rng::fork(), the result depends only on (base_seed, index), never on how
+/// many streams were forked before. This is what makes slot-seeded parallel
+/// pipelines byte-identical regardless of worker count.
+inline std::uint64_t fork_stream(std::uint64_t base_seed,
+                                 std::uint64_t index) {
+  std::uint64_t z = base_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  for (int round = 0; round < 2; ++round) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+  }
+  return z;
+}
+
 }  // namespace omniboost::util

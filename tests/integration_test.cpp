@@ -7,6 +7,7 @@
 
 #include "core/dataset.hpp"
 #include "core/omniboost.hpp"
+#include "nn/kernel.hpp"
 #include "nn/loss.hpp"
 #include "sched/baseline.hpp"
 #include "sim/analytic.hpp"
@@ -29,6 +30,14 @@ using workload::Workload;
 class IntegrationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
+    // This suite pins the *paper campaign*: a reduced but seed-exact replay
+    // of the sequential design-time pipeline and search. That campaign is
+    // defined by the bit-frozen reference kernels — training is chaotic, so
+    // even float-rounding-level kernel differences walk a weak 120-sample
+    // model to a different (not worse, just different) optimum and flip
+    // individual decisions. Kernel-variant coverage (gemm parity, both-kind
+    // gradcheck, end-to-end tolerance) lives in tests/nn_kernel_test.cpp.
+    nn::set_default_kernel(nn::KernelKind::kReference);
     zoo_ = new ModelZoo();
     device_ = new device::DeviceSpec(device::make_hikey970());
     cost_ = new device::CostModel(*device_);

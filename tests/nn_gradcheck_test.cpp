@@ -11,6 +11,7 @@
 namespace {
 
 using namespace omniboost::nn;
+using omniboost::nn::KernelKind;
 using omniboost::tensor::Shape;
 using omniboost::tensor::Tensor;
 using omniboost::util::Rng;
@@ -33,6 +34,11 @@ void expect_gradients_ok(Module& m, const Tensor& x, Rng& rng,
   EXPECT_LT(r.max_param_err, tol) << "parameter gradient mismatch";
 }
 
+/// Both lowerings of every dual-kernel layer must pass the same checks
+/// (nn/kernel.hpp: reference is the bit-frozen paper path, gemm the
+/// im2col+GEMM lowering).
+const KernelKind kBothKernels[] = {KernelKind::kReference, KernelKind::kGemm};
+
 struct ConvCase {
   std::size_t in_ch, out_ch, kernel, stride, pad, h, w;
 };
@@ -41,11 +47,15 @@ class ConvGradCheck : public ::testing::TestWithParam<ConvCase> {};
 
 TEST_P(ConvGradCheck, MatchesFiniteDifference) {
   const ConvCase c = GetParam();
-  Rng rng(17);
-  Conv2d conv(c.in_ch, c.out_ch, c.kernel, c.stride, c.pad);
-  conv.init(rng);
-  const Tensor x = random_tensor({2, c.in_ch, c.h, c.w}, rng);
-  expect_gradients_ok(conv, x, rng);
+  for (const KernelKind kind : kBothKernels) {
+    Rng rng(17);
+    Conv2d conv(c.in_ch, c.out_ch, c.kernel, c.stride, c.pad);
+    conv.init(rng);
+    conv.set_kernel(kind);
+    const Tensor x = random_tensor({2, c.in_ch, c.h, c.w}, rng);
+    SCOPED_TRACE(kernel_name(kind));
+    expect_gradients_ok(conv, x, rng);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -58,17 +68,25 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{2, 1, 3, 2, 0, 8, 6})); // strided valid
 
 TEST(GradCheck, LinearLayer) {
-  Rng rng(23);
-  Linear fc(5, 3);
-  fc.init(rng);
-  expect_gradients_ok(fc, random_tensor({4, 5}, rng), rng);
+  for (const KernelKind kind : kBothKernels) {
+    Rng rng(23);
+    Linear fc(5, 3);
+    fc.init(rng);
+    fc.set_kernel(kind);
+    SCOPED_TRACE(kernel_name(kind));
+    expect_gradients_ok(fc, random_tensor({4, 5}, rng), rng);
+  }
 }
 
 TEST(GradCheck, LinearWithoutBias) {
-  Rng rng(29);
-  Linear fc(4, 2, /*bias=*/false);
-  fc.init(rng);
-  expect_gradients_ok(fc, random_tensor({3, 4}, rng), rng);
+  for (const KernelKind kind : kBothKernels) {
+    Rng rng(29);
+    Linear fc(4, 2, /*bias=*/false);
+    fc.init(rng);
+    fc.set_kernel(kind);
+    SCOPED_TRACE(kernel_name(kind));
+    expect_gradients_ok(fc, random_tensor({3, 4}, rng), rng);
+  }
 }
 
 TEST(GradCheck, BatchNorm) {
@@ -120,35 +138,44 @@ TEST(GradCheck, Flatten) {
 }
 
 TEST(GradCheck, ResidualBlock) {
-  Rng rng(59);
-  auto body = std::make_unique<Sequential>();
-  body->emplace<Conv2d>(2, 2, 3, 1, 1);
-  body->emplace<GELU>();
-  Residual res(std::move(body));
-  res.init(rng);
-  expect_gradients_ok(res, random_tensor({2, 2, 4, 4}, rng), rng);
+  for (const KernelKind kind : kBothKernels) {
+    Rng rng(59);
+    auto body = std::make_unique<Sequential>();
+    body->emplace<Conv2d>(2, 2, 3, 1, 1);
+    body->emplace<GELU>();
+    Residual res(std::move(body));
+    res.init(rng);
+    res.set_kernel(kind);  // exercises container propagation
+    SCOPED_TRACE(kernel_name(kind));
+    expect_gradients_ok(res, random_tensor({2, 2, 4, 4}, rng), rng);
+  }
 }
 
 TEST(GradCheck, EstimatorStyleComposite) {
   // A miniature of the throughput estimator: conv+BN+GELU, pool, residual,
-  // GAP, linear head. Verifies gradient flow through the full stack.
-  Rng rng(61);
-  // (no pooling layer here: a finite-difference step can flip a pooling
-  // argmax and poison the comparison; MaxPool has its own dedicated check)
-  Sequential net;
-  net.emplace<Conv2d>(3, 4, 3, 1, 1);
-  net.emplace<BatchNorm2d>(4);
-  net.emplace<GELU>();
-  auto body = std::make_unique<Sequential>();
-  body->emplace<Conv2d>(4, 4, 3, 1, 1);
-  body->emplace<GELU>();
-  net.add(std::make_unique<Residual>(std::move(body)));
-  net.emplace<GlobalAvgPool>();
-  net.emplace<Linear>(4, 3);
-  net.init(rng);
-  net.set_training(true);
-  // fp32 curvature through stacked BN/GELU loosens the comparison slightly.
-  expect_gradients_ok(net, random_tensor({3, 3, 6, 8}, rng), rng, 6e-2);
+  // GAP, linear head. Verifies gradient flow through the full stack, under
+  // both compute kernels.
+  for (const KernelKind kind : kBothKernels) {
+    Rng rng(61);
+    // (no pooling layer here: a finite-difference step can flip a pooling
+    // argmax and poison the comparison; MaxPool has its own dedicated check)
+    Sequential net;
+    net.emplace<Conv2d>(3, 4, 3, 1, 1);
+    net.emplace<BatchNorm2d>(4);
+    net.emplace<GELU>();
+    auto body = std::make_unique<Sequential>();
+    body->emplace<Conv2d>(4, 4, 3, 1, 1);
+    body->emplace<GELU>();
+    net.add(std::make_unique<Residual>(std::move(body)));
+    net.emplace<GlobalAvgPool>();
+    net.emplace<Linear>(4, 3);
+    net.init(rng);
+    net.set_training(true);
+    net.set_kernel(kind);
+    SCOPED_TRACE(kernel_name(kind));
+    // fp32 curvature through stacked BN/GELU loosens the comparison slightly.
+    expect_gradients_ok(net, random_tensor({3, 3, 6, 8}, rng), rng, 6e-2);
+  }
 }
 
 TEST(GradCheck, L1LossGradient) {

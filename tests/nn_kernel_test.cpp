@@ -1,0 +1,291 @@
+// The kernel-selection contract (nn/kernel.hpp):
+//  * gemm vs reference parity for Conv2d / Linear, forward and backward,
+//    across adversarial shapes
+//  * bit-determinism of each kernel kind run-to-run
+//  * end-to-end estimator parity (<= 1e-6) on every zoo model
+//  * the {kernel = reference, batch_size = 1, workers = 1} bit-parity
+//    regression against the paper's sequential search, on 3 seeds
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/omniboost.hpp"
+#include "models/zoo.hpp"
+#include "nn/kernel.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "sim/des.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace omniboost;
+using nn::KernelKind;
+using tensor::Tensor;
+
+Tensor random_tensor(const tensor::Shape& shape, util::Rng& rng) {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(static_cast<double>(a[i]) - b[i]));
+  return m;
+}
+
+TEST(KernelKnob, NamesRoundTrip) {
+  EXPECT_STREQ(nn::kernel_name(KernelKind::kReference), "reference");
+  EXPECT_STREQ(nn::kernel_name(KernelKind::kGemm), "gemm");
+  EXPECT_EQ(nn::parse_kernel_name("reference"), KernelKind::kReference);
+  EXPECT_EQ(nn::parse_kernel_name("gemm"), KernelKind::kGemm);
+  EXPECT_THROW(nn::parse_kernel_name("simd"), std::invalid_argument);
+}
+
+TEST(KernelKnob, LayersCaptureTheProcessDefault) {
+  const KernelKind before = nn::default_kernel();
+  nn::set_default_kernel(KernelKind::kReference);
+  nn::Conv2d conv(2, 2, 3);
+  EXPECT_EQ(conv.kernel_kind(), KernelKind::kReference);
+  nn::set_default_kernel(KernelKind::kGemm);
+  nn::Linear fc(4, 2);
+  EXPECT_EQ(fc.kernel_kind(), KernelKind::kGemm);
+  conv.set_kernel(KernelKind::kGemm);
+  EXPECT_EQ(conv.kernel_kind(), KernelKind::kGemm);
+  nn::set_default_kernel(before);
+}
+
+struct ConvCase {
+  std::size_t in_ch, out_ch, kernel, stride, pad, h, w;
+};
+
+// Adversarial spread: non-square inputs, stride > 1, padding > 0, 1x1
+// (im2col identity fast path), wide kernels, single channels.
+const ConvCase kConvCases[] = {
+    {1, 1, 1, 1, 0, 5, 7},   // pointwise, non-square
+    {3, 8, 1, 1, 0, 9, 4},   // pointwise fast path, many channels
+    {2, 3, 3, 1, 1, 6, 6},   // same padding
+    {3, 2, 3, 2, 1, 7, 9},   // strided, non-square
+    {2, 4, 3, 3, 0, 9, 11},  // stride 3 valid
+    {1, 2, 5, 1, 2, 7, 8},   // wide kernel, heavy padding
+    {4, 4, 3, 2, 2, 5, 5},   // padding > kernel/2
+    {2, 2, 4, 2, 1, 10, 6},  // even kernel
+};
+
+class ConvKernelParity : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvKernelParity, ForwardAndBackwardMatchReference) {
+  const ConvCase c = GetParam();
+  for (const std::size_t batch : {1u, 3u}) {
+    util::Rng rng(101);
+    nn::Conv2d ref(c.in_ch, c.out_ch, c.kernel, c.stride, c.pad);
+    ref.init(rng);
+    ref.set_kernel(KernelKind::kReference);
+    util::Rng rng2(101);
+    nn::Conv2d gemm(c.in_ch, c.out_ch, c.kernel, c.stride, c.pad);
+    gemm.init(rng2);  // identical weights
+    gemm.set_kernel(KernelKind::kGemm);
+
+    util::Rng data_rng(7);
+    const Tensor x = random_tensor({batch, c.in_ch, c.h, c.w}, data_rng);
+    const Tensor ya = ref.forward(x);
+    const Tensor yb = gemm.forward(x);
+    EXPECT_LT(max_abs_diff(ya, yb), 1e-5) << "forward, batch " << batch;
+
+    const Tensor g = random_tensor(ya.shape(), data_rng);
+    ref.zero_grad();
+    gemm.zero_grad();
+    const Tensor gxa = ref.backward(g);
+    const Tensor gxb = gemm.backward(g);
+    EXPECT_LT(max_abs_diff(gxa, gxb), 1e-4) << "grad input, batch " << batch;
+    const auto pa = ref.params();
+    const auto pb = gemm.params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t p = 0; p < pa.size(); ++p)
+      EXPECT_LT(max_abs_diff(pa[p]->grad, pb[p]->grad), 1e-4)
+          << "param grad " << p << ", batch " << batch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvKernelParity,
+                         ::testing::ValuesIn(kConvCases));
+
+TEST(ConvKernelParity, EachKindIsBitDeterministic) {
+  util::Rng rng(33);
+  util::Rng data_rng(5);
+  const Tensor x = random_tensor({2, 3, 8, 9}, data_rng);
+  for (const KernelKind kind : {KernelKind::kReference, KernelKind::kGemm}) {
+    nn::Conv2d conv(3, 5, 3, 2, 1);
+    conv.init(rng);
+    conv.set_kernel(kind);
+    const Tensor a = conv.forward(x);
+    const Tensor b = conv.forward(x);
+    EXPECT_EQ(a, b) << nn::kernel_name(kind) << " forward not bit-stable";
+  }
+}
+
+TEST(LinearKernelParity, ForwardAndBackwardMatchReference) {
+  for (const bool bias : {true, false}) {
+    util::Rng rng(55);
+    nn::Linear ref(13, 7, bias);
+    ref.init(rng);
+    ref.set_kernel(KernelKind::kReference);
+    util::Rng rng2(55);
+    nn::Linear gemm(13, 7, bias);
+    gemm.init(rng2);
+    gemm.set_kernel(KernelKind::kGemm);
+
+    util::Rng data_rng(9);
+    const Tensor x = random_tensor({5, 13}, data_rng);
+    const Tensor ya = ref.forward(x);
+    const Tensor yb = gemm.forward(x);
+    EXPECT_LT(max_abs_diff(ya, yb), 1e-5);
+
+    const Tensor g = random_tensor(ya.shape(), data_rng);
+    ref.zero_grad();
+    gemm.zero_grad();
+    EXPECT_LT(max_abs_diff(ref.backward(g), gemm.backward(g)), 1e-5);
+    const auto pa = ref.params();
+    const auto pb = gemm.params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t p = 0; p < pa.size(); ++p)
+      EXPECT_LT(max_abs_diff(pa[p]->grad, pb[p]->grad), 1e-5);
+  }
+}
+
+// --- end-to-end estimator parity ---------------------------------------------
+
+class EstimatorKernelParity : public ::testing::Test {
+ protected:
+  static const models::ModelZoo& zoo() {
+    static const models::ModelZoo z;
+    return z;
+  }
+  static const core::EmbeddingTensor& embedding() {
+    static const device::CostModel cost(device::make_hikey970());
+    static const core::EmbeddingTensor e(zoo(), cost);
+    return e;
+  }
+};
+
+TEST_F(EstimatorKernelParity, WithinTolerance1e6OnEveryZooModel) {
+  core::ThroughputEstimator ref(embedding().models_dim(),
+                                embedding().layers_dim());
+  ref.set_kernel(KernelKind::kReference);
+  core::ThroughputEstimator gemm(embedding().models_dim(),
+                                 embedding().layers_dim());
+  gemm.set_kernel(KernelKind::kGemm);
+
+  util::Rng rng(23);
+  for (const models::ModelId id : models::kAllModels) {
+    const workload::Workload w{{id}};
+    for (int i = 0; i < 2; ++i) {
+      const Tensor input = embedding().masked_input(
+          w, workload::random_mapping(rng, zoo(), w, 3));
+      const auto a = ref.predict_normalized(input);
+      const auto b = gemm.predict_normalized(input);
+      for (std::size_t d = 0; d < 3; ++d)
+        EXPECT_NEAR(a[d], b[d], 1e-6)
+            << models::model_name(id) << " output " << d;
+    }
+  }
+  // Mixed multi-DNN inputs too.
+  for (int i = 0; i < 4; ++i) {
+    const workload::Workload w = workload::random_mix(rng, 4);
+    const Tensor input = embedding().masked_input(
+        w, workload::random_mapping(rng, zoo(), w, 3));
+    EXPECT_NEAR(ref.predict_reward(input), gemm.predict_reward(input), 1e-6);
+  }
+}
+
+// --- the bit-parity regression -----------------------------------------------
+
+TEST_F(EstimatorKernelParity, ReferenceKernelReproducesThePaperPathOn3Seeds) {
+  // {kernel = reference, batch_size = 1, workers = 1} through the production
+  // scheduler must replay the seed tree's sequential search bit-for-bit:
+  // train under the reference kernel, then compare against the pre-batching
+  // scalar/uncached search over the very same estimator instance.
+  const device::DeviceSpec spec = device::make_hikey970();
+  const sim::DesSimulator board(spec);
+  core::DatasetConfig dc;
+  dc.samples = 60;
+  const core::SampleSet data =
+      core::generate_dataset(zoo(), embedding(), board, dc);
+  auto est = std::make_shared<core::ThroughputEstimator>(
+      embedding().models_dim(), embedding().layers_dim());
+  est->set_kernel(KernelKind::kReference);
+  nn::L1Loss l1;
+  nn::TrainConfig tc;
+  tc.epochs = 4;
+  est->fit(data, 10, l1, tc);
+
+  const workload::Workload w{{models::ModelId::kVgg16,
+                              models::ModelId::kAlexNet,
+                              models::ModelId::kMobileNet}};
+  for (const std::uint64_t seed : {3u, 5u, 7u}) {
+    core::OmniBoostConfig cfg;
+    cfg.mcts.budget = 150;
+    cfg.mcts.seed = seed;
+    cfg.batch_size = 1;
+    cfg.workers = 1;
+    cfg.kernel = KernelKind::kReference;
+    core::OmniBoostScheduler sched(zoo(), embedding(), est, cfg);
+    const auto got = sched.schedule(w);
+
+    core::MctsConfig reference = cfg.mcts;
+    reference.cache = false;  // pre-memo accounting and evaluator call count
+    const core::MappingEvaluator scalar = [&](const sim::Mapping& m) {
+      return est->predict_reward(embedding().masked_input(w, m));
+    };
+    const core::MctsResult want =
+        core::Mcts(w.layer_counts(zoo()), scalar, reference).search();
+
+    EXPECT_EQ(got.mapping, want.best_mapping) << "seed " << seed;
+    EXPECT_EQ(got.expected_reward, want.best_reward) << "seed " << seed;
+    EXPECT_EQ(got.evaluations + got.cache_hits, want.evaluations)
+        << "seed " << seed;
+  }
+}
+
+TEST_F(EstimatorKernelParity, SchedulerClonesOnKernelMismatchOnly) {
+  // A gemm-trained estimator searched with cfg.kernel = reference (and vice
+  // versa) must leave the shared instance untouched and still produce a
+  // valid, deterministic decision.
+  const device::DeviceSpec spec = device::make_hikey970();
+  const sim::DesSimulator board(spec);
+  core::DatasetConfig dc;
+  dc.samples = 50;
+  const core::SampleSet data =
+      core::generate_dataset(zoo(), embedding(), board, dc);
+  auto est = std::make_shared<core::ThroughputEstimator>(
+      embedding().models_dim(), embedding().layers_dim());
+  nn::L1Loss l1;
+  nn::TrainConfig tc;
+  tc.epochs = 3;
+  est->fit(data, 10, l1, tc);
+  const KernelKind original = est->kernel();
+
+  const workload::Workload w{{models::ModelId::kAlexNet,
+                              models::ModelId::kSqueezeNet}};
+  core::OmniBoostConfig cfg;
+  cfg.mcts.budget = 80;
+  cfg.kernel = original == KernelKind::kGemm ? KernelKind::kReference
+                                             : KernelKind::kGemm;
+  core::OmniBoostScheduler sched(zoo(), embedding(), est, cfg);
+  const auto a = sched.schedule(w);
+  const auto b = sched.schedule(w);
+  EXPECT_EQ(est->kernel(), original) << "shared estimator was mutated";
+  EXPECT_TRUE(a.mapping.within_stage_limit(3));
+  EXPECT_EQ(a.mapping, b.mapping);
+}
+
+}  // namespace

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
@@ -163,5 +166,258 @@ TEST_P(TensorAlgebraProperty, ScalarDistributes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TensorAlgebraProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- GEMM / im2col compute kernels (tensor/gemm.hpp) -------------------------
+
+using omniboost::tensor::col2im;
+using omniboost::tensor::conv_out_extent;
+using omniboost::tensor::gemm;
+using omniboost::tensor::im2col;
+using omniboost::tensor::matmul;
+
+Tensor random_tensor(const Shape& shape, omniboost::util::Rng& rng) {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return t;
+}
+
+/// The naive triple loop the blocked kernel is verified against.
+void naive_gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                std::size_t k, float alpha, const float* a, std::size_t lda,
+                const float* b, std::size_t ldb, float beta, float* c,
+                std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * lda + i] : a[i * lda + p];
+        const float bv = trans_b ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      const double prior = beta == 0.0f ? 0.0 : beta * c[i * ldc + j];
+      c[i * ldc + j] = static_cast<float>(alpha * acc + prior);
+    }
+  }
+}
+
+struct GemmCase {
+  std::size_t m, n, k;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmSweep, MatchesNaiveReferenceUnderAllTransposes) {
+  const GemmCase g = GetParam();
+  omniboost::util::Rng rng(g.m * 131 + g.n * 17 + g.k);
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      const Tensor a =
+          random_tensor(ta ? Shape{g.k, g.m} : Shape{g.m, g.k}, rng);
+      const Tensor b =
+          random_tensor(tb ? Shape{g.n, g.k} : Shape{g.k, g.n}, rng);
+      Tensor want({g.m, g.n});
+      Tensor got({g.m, g.n});
+      naive_gemm(ta, tb, g.m, g.n, g.k, 1.0f, a.data(), a.extent(1), b.data(),
+                 b.extent(1), 0.0f, want.data(), g.n);
+      gemm(ta, tb, g.m, g.n, g.k, 1.0f, a.data(), a.extent(1), b.data(),
+           b.extent(1), 0.0f, got.data(), g.n);
+      for (std::size_t i = 0; i < want.size(); ++i)
+        ASSERT_NEAR(want[i], got[i], 1e-4)
+            << "ta=" << ta << " tb=" << tb << " element " << i;
+    }
+  }
+}
+
+// Spans the micro-tile (4x16) and cache-block (64/128/256) boundaries and
+// their off-by-one neighbours, plus degenerate single-row/column shapes.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmCase{1, 1, 1}, GemmCase{1, 16, 3},
+                      GemmCase{4, 16, 8}, GemmCase{5, 17, 9},
+                      GemmCase{3, 1, 12}, GemmCase{8, 90, 27},
+                      GemmCase{24, 396, 216}, GemmCase{65, 33, 129},
+                      GemmCase{64, 256, 128}, GemmCase{67, 259, 131}));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  omniboost::util::Rng rng(77);
+  const Tensor a = random_tensor({3, 4}, rng);
+  const Tensor b = random_tensor({4, 5}, rng);
+  Tensor c({3, 5}, 2.0f);
+  Tensor want = c;
+  naive_gemm(false, false, 3, 5, 4, 0.5f, a.data(), 4, b.data(), 5, 1.5f,
+             want.data(), 5);
+  gemm(false, false, 3, 5, 4, 0.5f, a.data(), 4, b.data(), 5, 1.5f, c.data(),
+       5);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], want[i], 1e-4);
+}
+
+TEST(Gemm, BetaZeroOverwritesNaN) {
+  // beta == 0 must overwrite even NaN garbage in C (0 * NaN != 0).
+  const Tensor a({2, 2}, 1.0f);
+  const Tensor b({2, 2}, 1.0f);
+  Tensor c({2, 2}, std::numeric_limits<float>::quiet_NaN());
+  gemm(false, false, 2, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 0.0f, c.data(),
+       2);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], 2.0f);
+}
+
+TEST(Gemm, KZeroScalesByBeta) {
+  const Tensor a({2, 1}, 1.0f);
+  const Tensor b({1, 2}, 1.0f);
+  Tensor c({2, 2}, 3.0f);
+  gemm(false, false, 2, 2, 0, 1.0f, a.data(), 1, b.data(), 2, 0.5f, c.data(),
+       2);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], 1.5f);
+}
+
+TEST(Gemm, BitDeterministicRunToRun) {
+  omniboost::util::Rng rng(5);
+  const Tensor a = random_tensor({37, 141}, rng);
+  const Tensor b = random_tensor({141, 53}, rng);
+  const Tensor c1 = matmul(a, b);
+  const Tensor c2 = matmul(a, b);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(Gemm, MatmulValidatesShapes) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({4, 2})), std::invalid_argument);
+  EXPECT_THROW(matmul(Tensor({2, 3, 1}), Tensor({3, 2})),
+               std::invalid_argument);
+}
+
+TEST(Im2col, ConvOutExtent) {
+  EXPECT_EQ(conv_out_extent(5, 3, 1, 1), 5u);
+  EXPECT_EQ(conv_out_extent(7, 3, 2, 0), 3u);
+  EXPECT_EQ(conv_out_extent(4, 1, 1, 0), 4u);
+  EXPECT_THROW(conv_out_extent(2, 5, 1, 1), std::invalid_argument);
+  EXPECT_THROW(conv_out_extent(4, 3, 0, 0), std::invalid_argument);
+}
+
+/// Naive im2col: col((c,ky,kx), (oy,ox)) = padded image at the tap.
+Tensor naive_im2col(const Tensor& img, std::size_t kernel, std::size_t stride,
+                    std::size_t pad) {
+  const std::size_t c = img.extent(0), h = img.extent(1), w = img.extent(2);
+  const std::size_t oh = conv_out_extent(h, kernel, stride, pad);
+  const std::size_t ow = conv_out_extent(w, kernel, stride, pad);
+  Tensor cols({c * kernel * kernel, oh * ow});
+  for (std::size_t ch = 0; ch < c; ++ch)
+    for (std::size_t ky = 0; ky < kernel; ++ky)
+      for (std::size_t kx = 0; kx < kernel; ++kx)
+        for (std::size_t oy = 0; oy < oh; ++oy)
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                static_cast<std::ptrdiff_t>(pad);
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                static_cast<std::ptrdiff_t>(pad);
+            const bool inside = iy >= 0 &&
+                                iy < static_cast<std::ptrdiff_t>(h) &&
+                                ix >= 0 && ix < static_cast<std::ptrdiff_t>(w);
+            cols.at({(ch * kernel + ky) * kernel + kx, oy * ow + ox}) =
+                inside ? img.at({ch, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix)})
+                       : 0.0f;
+          }
+  return cols;
+}
+
+struct Im2colCase {
+  std::size_t c, h, w, kernel, stride, pad;
+};
+
+class Im2colSweep : public ::testing::TestWithParam<Im2colCase> {};
+
+TEST_P(Im2colSweep, MatchesNaiveLowering) {
+  const Im2colCase t = GetParam();
+  omniboost::util::Rng rng(t.c + t.h * 3 + t.w * 7 + t.kernel);
+  const Tensor img = random_tensor({t.c, t.h, t.w}, rng);
+  const Tensor want = naive_im2col(img, t.kernel, t.stride, t.pad);
+  const Tensor got = im2col(img, t.kernel, t.stride, t.pad);
+  EXPECT_EQ(want.shape(), got.shape());
+  EXPECT_EQ(want, got);  // pure data movement: must be exact
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Im2colSweep,
+    ::testing::Values(Im2colCase{1, 3, 3, 1, 1, 0},   // 1x1 identity
+                      Im2colCase{2, 5, 7, 3, 1, 1},   // same, non-square
+                      Im2colCase{3, 6, 4, 3, 2, 0},   // strided valid
+                      Im2colCase{1, 7, 7, 5, 1, 2},   // wide kernel
+                      Im2colCase{2, 4, 9, 3, 3, 1},   // stride 3
+                      Im2colCase{4, 5, 5, 2, 2, 0},   // even kernel
+                      Im2colCase{1, 1, 1, 1, 1, 0},   // degenerate pixel
+                      Im2colCase{2, 3, 8, 3, 1, 2})); // pad > kernel/2
+
+TEST(Im2col, IdentityFor1x1) {
+  omniboost::util::Rng rng(3);
+  const Tensor img = random_tensor({3, 4, 5}, rng);
+  const Tensor cols = im2col(img, 1, 1, 0);
+  EXPECT_EQ(cols.shape(), (Shape{3, 20}));
+  for (std::size_t i = 0; i < img.size(); ++i) EXPECT_EQ(cols[i], img[i]);
+}
+
+TEST_P(Im2colSweep, Col2imIsTheExactAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining property
+  // of the gradient lowering used by Conv2d::backward.
+  const Im2colCase t = GetParam();
+  omniboost::util::Rng rng(t.h * 11 + t.w);
+  const Tensor x = random_tensor({t.c, t.h, t.w}, rng);
+  const Tensor cols_x = im2col(x, t.kernel, t.stride, t.pad);
+  const Tensor y = random_tensor(cols_x.shape(), rng);
+  const Tensor back = col2im(y, t.c, t.h, t.w, t.kernel, t.stride, t.pad);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols_x.size(); ++i)
+    lhs += static_cast<double>(cols_x[i]) * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i)
+    rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+TEST(Im2col, RejectsBadShapes) {
+  EXPECT_THROW(im2col(Tensor({2, 2}), 1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(im2col(Tensor({1, 2, 2}), 3, 1, 0), std::invalid_argument);
+  EXPECT_THROW(col2im(Tensor({3, 4}), 1, 2, 2, 1, 1, 0),
+               std::invalid_argument);
+}
+
+TEST(Gemm, ConvolutionViaIm2colMatchesDirectSum) {
+  // End-to-end lowering sanity: W_matrix * im2col(x) equals the direct
+  // convolution sum computed longhand.
+  omniboost::util::Rng rng(19);
+  const std::size_t ic = 2, oc = 3, k = 3, stride = 1, pad = 1;
+  const std::size_t h = 5, w = 6;
+  const Tensor x = random_tensor({ic, h, w}, rng);
+  const Tensor wt = random_tensor({oc, ic * k * k}, rng);
+  const Tensor y = matmul(wt, im2col(x, k, stride, pad));
+
+  const std::size_t oh = conv_out_extent(h, k, stride, pad);
+  const std::size_t ow = conv_out_extent(w, k, stride, pad);
+  for (std::size_t o = 0; o < oc; ++o)
+    for (std::size_t oy = 0; oy < oh; ++oy)
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < ic; ++c)
+          for (std::size_t ky = 0; ky < k; ++ky)
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h) || ix < 0 ||
+                  ix >= static_cast<std::ptrdiff_t>(w))
+                continue;
+              acc += static_cast<double>(
+                         wt.at({o, (c * k + ky) * k + kx})) *
+                     x.at({c, static_cast<std::size_t>(iy),
+                           static_cast<std::size_t>(ix)});
+            }
+        EXPECT_NEAR(y.at({o, oy * ow + ox}), acc, 1e-4);
+      }
+}
 
 }  // namespace

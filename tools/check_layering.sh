@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Layering lint: greps every `#include "layer/…"` edge inside src/ and fails
+# on any edge not in the architecture DAG (docs/ARCHITECTURE.md). Run by
+# tools/run_tier1.sh so layering rot fails tier-1 instead of accreting.
+#
+# The allowed edge list below IS the architecture: to add an edge, change
+# docs/ARCHITECTURE.md first, then mirror it here. Notes:
+#  * every layer may include itself and util (the leaf);
+#  * sched -> core covers the IScheduler/evaluator interfaces
+#    (core/scheduler.hpp etc.) that all comparison schedulers implement —
+#    core's own sources must NOT include sched, keeping the pair acyclic.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+src="$root/src"
+
+allowed_for() {
+  case "$1" in
+    util)     echo "util" ;;
+    tensor)   echo "tensor util" ;;
+    nn)       echo "nn tensor util" ;;
+    models)   echo "models util" ;;
+    device)   echo "device models util" ;;
+    workload) echo "workload models sim util" ;;
+    sim)      echo "sim device models util" ;;
+    sched)    echo "sched core device models sim util workload" ;;
+    core)     echo "core device models nn sim tensor util workload" ;;
+    *)        echo "" ;;
+  esac
+}
+
+status=0
+for dir in "$src"/*/; do
+  layer=$(basename "$dir")
+  allowed=$(allowed_for "$layer")
+  if [ -z "$allowed" ]; then
+    echo "check_layering: unknown layer 'src/$layer' — add it to the DAG in" \
+         "tools/check_layering.sh and docs/ARCHITECTURE.md" >&2
+    status=1
+    continue
+  fi
+  # Observed include targets: `#include "<target>/..."`.
+  targets=$(grep -rhoE '#include "[a-z_]+/' "$dir" 2>/dev/null \
+            | sed 's/#include "//; s|/$||' | sort -u)
+  for target in $targets; do
+    ok=0
+    for a in $allowed; do
+      [ "$target" = "$a" ] && ok=1 && break
+    done
+    if [ "$ok" -eq 0 ]; then
+      echo "check_layering: forbidden edge $layer -> $target" >&2
+      grep -rlE "#include \"$target/" "$dir" | sed 's/^/  /' >&2
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_layering: OK (all #include edges respect the DAG)"
+fi
+exit "$status"

@@ -10,6 +10,7 @@
 ///   omniboost_cli --mix alexnet --save-estimator est.bin
 ///   omniboost_cli --mix alexnet --estimator-file est.bin --json
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -20,6 +21,7 @@
 #include "core/dataset.hpp"
 #include "device/profile.hpp"
 #include "core/omniboost.hpp"
+#include "nn/kernel.hpp"
 #include "nn/loss.hpp"
 #include "sched/baseline.hpp"
 #include "sched/ga.hpp"
@@ -130,6 +132,15 @@ int run(int argc, char** argv) {
       .option("batch", "leaf evaluations per batched estimator query", "1")
       .option("samples", "estimator training workloads", "500")
       .option("epochs", "estimator training epochs", "100")
+      .option("kernel",
+              "compute kernel for the estimator CNN: gemm (fast) or "
+              "reference (the paper's bit-frozen loops)",
+              "gemm")
+      .option("design-workers",
+              "design-time parallelism (dataset generation + validation); "
+              "0 = the paper's exact sequential pipeline, N >= 1 = the "
+              "slot-seeded parallel pipeline (byte-identical for any N)",
+              "0")
       .option("seed", "master seed", "1")
       .option("estimator-file", "load a trained estimator instead of training")
       .option("save-estimator", "write the trained estimator to this path")
@@ -142,6 +153,15 @@ int run(int argc, char** argv) {
 
   const workload::Workload w = parse_mix(args.get("mix"));
   const std::string scheduler_kind = args.get("scheduler");
+  // Applied before any network is built: layers capture the default at
+  // construction, so this one call covers training, loading, and search.
+  nn::set_default_kernel(nn::parse_kernel_name(args.get("kernel")));
+  const long long design_workers_raw = args.get_int("design-workers");
+  if (design_workers_raw < 0) {
+    throw std::invalid_argument(
+        "--design-workers must be >= 0 (0 = sequential paper pipeline)");
+  }
+  const auto design_workers = static_cast<std::size_t>(design_workers_raw);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const bool as_json = args.get_flag("json");
   const bool with_trace = args.get_flag("trace");
@@ -184,6 +204,7 @@ int run(int argc, char** argv) {
       core::DatasetConfig dc;
       dc.samples = static_cast<std::size_t>(args.get_int("samples"));
       dc.seed = seed + 41;
+      dc.workers = design_workers;
       const core::SampleSet data =
           core::generate_dataset(zoo, embedding, board, dc);
       auto est = std::make_shared<core::ThroughputEstimator>(
@@ -191,6 +212,7 @@ int run(int argc, char** argv) {
       nn::L1Loss l1;
       nn::TrainConfig tc;
       tc.epochs = static_cast<std::size_t>(args.get_int("epochs"));
+      tc.workers = std::max<std::size_t>(design_workers, 1);
       const auto history = est->fit(data, dc.samples / 5, l1, tc);
       if (!as_json)
         std::printf("final train loss %.4f, val loss %.4f\n",

@@ -24,6 +24,9 @@ root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="${OMNIBOOST_BUILD_DIR:-$root/build}"
 jobs="${OMNIBOOST_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
+echo "== layering lint =="
+sh "$root/tools/check_layering.sh"
+
 echo "== configure =="
 cmake -B "$build_dir" -S "$root"
 
