@@ -1,0 +1,85 @@
+/// \file dynamic_serving.cpp
+/// Dynamic serving scenario: an edge box serves changing multi-DNN traffic —
+/// a detector runs around the clock while classifier and segmenter streams
+/// come and go with demand. Every mix change forces a rescheduling decision.
+/// This example scripts the day as a workload::Scenario (the same text trace
+/// format `omniboost_cli serve --scenario` accepts), replays it through the
+/// core::ServingRuntime twice — cold full-budget decisions vs. OmniBoost's
+/// warm-started reschedule() — and compares decision latency, throughput and
+/// mapping churn epoch by epoch.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/dataset.hpp"
+#include "core/omniboost.hpp"
+#include "core/serving.hpp"
+#include "nn/loss.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+using namespace omniboost;
+
+int main() {
+  // The box's day, scripted: ResNet-50 detection always on; MobileNet
+  // re-identification joins at rush hour; VGG-16 segmentation runs a
+  // mid-day batch; the mix thins out again in the evening.
+  const workload::Scenario day = workload::parse_scenario(
+      "# edge box, one day (times in minutes for readability)\n"
+      "at 0   arrive ResNet-50\n"
+      "at 60  arrive MobileNet\n"
+      "at 240 arrive VGG-16\n"
+      "at 480 depart MobileNet\n"
+      "at 600 depart VGG-16\n");
+  std::printf("scenario: %s\n\n", day.describe().c_str());
+
+  models::ModelZoo zoo;
+  const device::DeviceSpec spec = device::make_hikey970();
+  const device::CostModel cost(spec);
+  const core::EmbeddingTensor embedding(zoo, cost);
+  const sim::DesSimulator board(spec);
+
+  // Design time (abbreviated campaign for example runtime).
+  core::DatasetConfig dc;
+  dc.samples = 150;
+  const core::SampleSet data = core::generate_dataset(zoo, embedding, board, dc);
+  auto estimator = std::make_shared<core::ThroughputEstimator>(
+      embedding.models_dim(), embedding.layers_dim());
+  nn::L1Loss l1;
+  nn::TrainConfig tc;
+  tc.epochs = 40;
+  estimator->fit(data, 30, l1, tc);
+
+  core::OmniBoostConfig cfg;
+  cfg.mcts.budget = 200;
+  cfg.rollout_fraction = 0.4;  // warm decisions spend 40% of the cold budget
+
+  for (const bool warm : {false, true}) {
+    core::OmniBoostScheduler omni(zoo, embedding, estimator, cfg);
+    const core::ServingRuntime runtime(zoo, board, {warm});
+    const core::ServingReport report = runtime.run(omni, day);
+
+    std::printf("--- %s rescheduling ---\n", warm ? "warm-started" : "cold");
+    util::Table t({"t", "event", "mix", "decision s", "T inf/s", "churn"});
+    for (const core::EpochReport& ep : report.epochs) {
+      t.add_row({util::fmt(ep.time_s, 0), ep.event, ep.mix,
+                 util::fmt(ep.decision.decision_seconds, 3),
+                 util::fmt(ep.measured_throughput, 2),
+                 ep.surviving_layers == 0
+                     ? "-"
+                     : util::fmt(100.0 * ep.churn, 1) + "%"});
+    }
+    t.print(std::cout);
+    std::printf("mean T %.3f inf/s | mean incremental decision %.3f s | "
+                "mean churn %.1f%% | %zu memo hits\n\n",
+                report.mean_throughput,
+                report.mean_incremental_decision_seconds,
+                100.0 * report.mean_churn, report.total_cache_hits);
+  }
+
+  std::printf("takeaway: warm-started rescheduling answers mix changes in a "
+              "fraction of the cold decision latency and moves far fewer "
+              "layers of the streams that stayed.\n");
+  return 0;
+}

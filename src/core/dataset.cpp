@@ -43,9 +43,7 @@ SampleSet run_parallel_pipeline(const sim::DesSimulator& board,
   // shared simulator untouched).
   std::vector<std::unique_ptr<sim::DesSimulator>> sims;
   sims.reserve(pool.size());
-  for (std::size_t w = 0; w < pool.size(); ++w)
-    sims.push_back(std::make_unique<sim::DesSimulator>(board.device(),
-                                                       board.config()));
+  for (std::size_t w = 0; w < pool.size(); ++w) sims.push_back(board.clone());
 
   std::vector<Sample> samples(config.samples);
   pool.parallel_for(

@@ -64,6 +64,17 @@ Mcts::Mcts(std::vector<std::size_t> layer_counts, BatchMappingEvaluator evaluate
   }
 }
 
+void Mcts::set_warm_start(MctsWarmStart warm) {
+  OB_REQUIRE(warm.prior.empty() || warm.prior.size() == coords_.size(),
+             "Mcts: warm-start prior must cover every decision");
+  OB_REQUIRE(warm.prior_bias >= 0.0 && warm.prior_bias <= 1.0,
+             "Mcts: prior_bias must be a probability");
+  for (const std::int8_t p : warm.prior)
+    OB_REQUIRE(p >= -1 && p < static_cast<std::int8_t>(kNumComponents),
+               "Mcts: warm-start prior entry out of component range");
+  warm_ = std::move(warm);
+}
+
 void Mcts::valid_actions(const std::vector<ComponentId>& path,
                          std::size_t depth,
                          bool (&out)[kNumComponents]) const {
@@ -190,8 +201,11 @@ MctsResult Mcts::search() {
   // GPU->CPU->GPU and CPU->GPU->GPU can reach distinct tree nodes whose
   // completed rollouts render to the same Mapping; the memo keys on the
   // mapping's canonical hash so the evaluator runs once per distinct
-  // mapping, not once per rollout.
-  std::unordered_map<sim::Mapping, double, sim::MappingHasher> memo;
+  // mapping, not once per rollout. Warm-started searches substitute an
+  // external memo so rewards survive across incremental decisions.
+  EvaluationMemo local_memo;
+  EvaluationMemo& memo = warm_.memo != nullptr ? *warm_.memo : local_memo;
+  const bool warm = !warm_.prior.empty();
 
   // One queued leaf evaluation of the current expansion wave.
   struct Pending {
@@ -244,6 +258,9 @@ MctsResult Mcts::search() {
     for (std::size_t k = 0; k < wave_n; ++k) {
       path.clear();
       std::int32_t node_id = 0;
+      // The first rollout of a warm search is pinned to the prior wherever
+      // the prior is set and legal; later rollouts only lean toward it.
+      const bool pinned = warm && iter == 0 && k == 0;
 
       // --- Selection: descend while fully expanded.
       for (;;) {
@@ -260,8 +277,19 @@ MctsResult Mcts::search() {
             unexpanded[n_unexpanded++] = a;
 
         if (n_unexpanded > 0) {
-          // --- Expansion: create one child at random.
-          const std::size_t a = unexpanded[rng.below(n_unexpanded)];
+          // --- Expansion: create one child at random. A pinned rollout
+          // expands the prior's action instead (no rng draw) so the previous
+          // mapping's path is the first thing the tree learns about.
+          std::size_t a;
+          const std::int8_t suggested =
+              pinned ? warm_.prior[node.depth] : std::int8_t{-1};
+          if (suggested >= 0 &&
+              node.action_valid[static_cast<std::size_t>(suggested)] &&
+              node.child[static_cast<std::size_t>(suggested)] < 0) {
+            a = static_cast<std::size_t>(suggested);
+          } else {
+            a = unexpanded[rng.below(n_unexpanded)];
+          }
           Node child;
           child.parent = node_id;
           child.action = static_cast<std::uint8_t>(a);
@@ -309,10 +337,22 @@ MctsResult Mcts::search() {
       }
 
       // --- Rollout: random completion to a winning (complete) mapping.
+      // Warm searches bias each decision toward the prior (probability
+      // prior_bias; the pinned rollout follows it outright), concentrating
+      // the shrunken incremental budget around the previous mapping.
       while (path.size() < total) {
         bool valid[kNumComponents];
         valid_actions(path, path.size(), valid);
-        path.push_back(static_cast<ComponentId>(pick_random_valid(valid)));
+        const std::int8_t suggested =
+            warm ? warm_.prior[path.size()] : std::int8_t{-1};
+        std::size_t choice;
+        if (suggested >= 0 && valid[static_cast<std::size_t>(suggested)] &&
+            (pinned || rng.chance(warm_.prior_bias))) {
+          choice = static_cast<std::size_t>(suggested);
+        } else {
+          choice = pick_random_valid(valid);
+        }
+        path.push_back(static_cast<ComponentId>(choice));
       }
       rollouts.push_back(path);
       const auto rollout_id = static_cast<std::int32_t>(rollouts.size() - 1);

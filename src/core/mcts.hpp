@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/mapping.hpp"
@@ -70,6 +71,35 @@ struct MctsConfig {
   bool cache = true;
 };
 
+/// The evaluation memo's container type (mapping -> evaluator reward). The
+/// search owns a private memo by default; warm-started incremental searches
+/// (core::ServingRuntime path) hand one in so rewards carry over across
+/// decisions on the same workload.
+using EvaluationMemo =
+    std::unordered_map<sim::Mapping, double, sim::MappingHasher>;
+
+/// Warm-start inputs for an incremental search. Default-constructed
+/// (empty prior, null memo) means a cold search — the bit-frozen paper path.
+struct MctsWarmStart {
+  /// Suggested component per decision in the search's flattened
+  /// (dnn-after-dnn, layer-after-layer) order; -1 = no suggestion (layers of
+  /// a newly arrived stream). When non-empty it must cover every decision.
+  /// The very first rollout is *pinned*: it follows every valid suggestion
+  /// exactly, so the candidate set always contains "previous assignments for
+  /// surviving streams + a completion for the new ones" — the stability
+  /// floor a warm decision can never fall below.
+  std::vector<std::int8_t> prior;
+  /// Probability that a random-rollout decision follows a valid suggestion
+  /// instead of drawing uniformly. Concentrates the shrunken incremental
+  /// budget near the previous mapping (low churn) while still exploring.
+  double prior_bias = 0.75;
+  /// When non-null the search reads/writes this memo instead of a private
+  /// one, carrying evaluator rewards across decisions. Only meaningful with
+  /// MctsConfig::cache; the caller must guarantee every memo entry came from
+  /// the SAME workload and evaluator (rewards are replayed verbatim).
+  EvaluationMemo* memo = nullptr;
+};
+
 /// Search outcome.
 struct MctsResult {
   sim::Mapping best_mapping;
@@ -127,6 +157,11 @@ class Mcts {
   Mcts(std::vector<std::size_t> layer_counts, BatchMappingEvaluator evaluate,
        MctsConfig config = {});
 
+  /// Installs warm-start inputs for the next search() call. A
+  /// default-constructed MctsWarmStart restores the cold behaviour; any
+  /// non-empty prior must have exactly one entry per decision.
+  void set_warm_start(MctsWarmStart warm);
+
   /// Runs the search to the configured budget.
   MctsResult search();
 
@@ -148,6 +183,7 @@ class Mcts {
   std::vector<Coord> coords_;
   BatchMappingEvaluator evaluate_;  ///< scalar evaluators arrive pre-adapted
   MctsConfig config_;
+  MctsWarmStart warm_;  ///< default (cold) unless set_warm_start was called
 };
 
 }  // namespace omniboost::core

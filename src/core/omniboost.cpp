@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 
 #include "util/require.hpp"
@@ -39,10 +40,35 @@ OmniBoostScheduler::OmniBoostScheduler(
              "OmniBoostScheduler: estimator must be trained first");
 }
 
-ScheduleResult OmniBoostScheduler::schedule(const workload::Workload& w) {
-  OB_REQUIRE(w.size() > 0, "OmniBoostScheduler::schedule: empty workload");
-  const StopWatch timer;
+std::shared_ptr<const ThroughputEstimator>
+OmniBoostScheduler::active_estimator() const {
+  // Kernel selection: the shared estimator is immutable, so a non-matching
+  // kernel request is served by a private clone (serialization round-trip —
+  // bit-exact weights and preprocessing, ~20k parameters, microseconds).
+  if (estimator_->kernel() == config_.kernel) return estimator_;
+  std::stringstream weights;
+  estimator_->save(weights);
+  std::istringstream is(weights.str());
+  auto clone =
+      std::make_shared<ThroughputEstimator>(ThroughputEstimator::load(is));
+  clone->set_kernel(config_.kernel);
+  return clone;
+}
 
+BatchMappingEvaluator OmniBoostScheduler::batch_evaluator(
+    const workload::Workload& w,
+    std::shared_ptr<const ThroughputEstimator> est) const {
+  return [this, &w, est = std::move(est)](
+             const std::vector<sim::Mapping>& mappings) {
+    std::vector<tensor::Tensor> inputs;
+    inputs.reserve(mappings.size());
+    for (const sim::Mapping& m : mappings)
+      inputs.push_back(embedding_->masked_input(w, m));
+    return est->predict_rewards(inputs);
+  };
+}
+
+MctsConfig OmniBoostScheduler::make_mcts_config() const {
   // The scheduler-level batching/caching knobs ride on the generic search
   // config; OmniBoostConfig is the authoritative surface for both. Reject
   // values smuggled in through the sub-config instead of silently
@@ -53,39 +79,18 @@ ScheduleResult OmniBoostScheduler::schedule(const workload::Workload& w) {
   MctsConfig mcts = config_.mcts;
   mcts.batch_size = config_.batch_size;
   mcts.cache = config_.cache;
+  return mcts;
+}
 
-  // Kernel selection: the shared estimator is immutable, so a non-matching
-  // kernel request is served by a private clone (serialization round-trip —
-  // bit-exact weights and preprocessing, ~20k parameters, microseconds).
-  std::shared_ptr<const ThroughputEstimator> active = estimator_;
-  if (active->kernel() != config_.kernel) {
-    std::stringstream weights;
-    active->save(weights);
-    std::istringstream is(weights.str());
-    auto clone =
-        std::make_shared<ThroughputEstimator>(ThroughputEstimator::load(is));
-    clone->set_kernel(config_.kernel);
-    active = std::move(clone);
-  }
-
-  // Renders a wave of mappings and scores it with ONE batched CNN forward
-  // pass through the given estimator instance.
-  const auto batch_evaluator =
-      [this, &w](std::shared_ptr<const ThroughputEstimator> est)
-      -> BatchMappingEvaluator {
-    return [this, &w, est = std::move(est)](
-               const std::vector<sim::Mapping>& mappings) {
-      std::vector<tensor::Tensor> inputs;
-      inputs.reserve(mappings.size());
-      for (const sim::Mapping& m : mappings)
-        inputs.push_back(embedding_->masked_input(w, m));
-      return est->predict_rewards(inputs);
-    };
-  };
+ScheduleResult OmniBoostScheduler::schedule(const workload::Workload& w) {
+  OB_REQUIRE(w.size() > 0, "OmniBoostScheduler::schedule: empty workload");
+  const StopWatch timer;
+  const MctsConfig mcts = make_mcts_config();
+  const std::shared_ptr<const ThroughputEstimator> active = active_estimator();
 
   MctsResult r;
   if (config_.workers <= 1) {
-    Mcts search(w.layer_counts(*zoo_), batch_evaluator(active), mcts);
+    Mcts search(w.layer_counts(*zoo_), batch_evaluator(w, active), mcts);
     r = search.search();
   } else {
     // Root-parallel: the CNN forward pass mutates activation caches, so each
@@ -96,13 +101,13 @@ ScheduleResult OmniBoostScheduler::schedule(const workload::Workload& w) {
     active->save(weights);
     const std::string blob = weights.str();
     const nn::KernelKind kernel = config_.kernel;
-    const BatchEvaluatorFactory factory = [&batch_evaluator, blob,
+    const BatchEvaluatorFactory factory = [this, &w, blob,
                                            kernel]() -> BatchMappingEvaluator {
       std::istringstream is(blob);
       auto clone =
           std::make_shared<ThroughputEstimator>(ThroughputEstimator::load(is));
       clone->set_kernel(kernel);
-      return batch_evaluator(std::move(clone));
+      return batch_evaluator(w, std::move(clone));
     };
     r = parallel_mcts_search_batched(w.layer_counts(*zoo_), factory, mcts,
                                      config_.workers);
@@ -115,6 +120,109 @@ ScheduleResult OmniBoostScheduler::schedule(const workload::Workload& w) {
   out.cache_hits = r.cache_hits;
   out.decision_seconds = timer.seconds();
   return out;
+}
+
+ScheduleResult OmniBoostScheduler::reschedule(const workload::Workload& w,
+                                              const sim::Mapping& previous,
+                                              const ScheduleContext& ctx) {
+  if (!ctx.warm_start) return schedule(w);
+  OB_REQUIRE(w.size() > 0, "OmniBoostScheduler::reschedule: empty workload");
+  OB_REQUIRE(ctx.carried_from.size() == w.size(),
+             "OmniBoostScheduler::reschedule: carried_from arity mismatch");
+  OB_REQUIRE(config_.rollout_fraction > 0.0 && config_.rollout_fraction <= 1.0,
+             "OmniBoostScheduler: rollout_fraction must be in (0, 1]");
+  const StopWatch timer;
+
+  // Incremental budget: a fraction of the cold budget, never below 1.
+  MctsConfig mcts = make_mcts_config();
+  mcts.budget = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(config_.rollout_fraction *
+                          static_cast<double>(mcts.budget))));
+
+  // Prior: flatten the surviving streams' previous assignments into the
+  // search's decision order (dnn-after-dnn, layer-after-layer); layers of
+  // newly arrived streams carry no suggestion.
+  const std::vector<std::size_t> counts = w.layer_counts(*zoo_);
+  MctsWarmStart warm;
+  warm.prior_bias = config_.prior_bias;
+  for (std::size_t d = 0; d < w.size(); ++d) {
+    const std::ptrdiff_t from = ctx.carried_from[d];
+    if (from < 0) {
+      warm.prior.insert(warm.prior.end(), counts[d], std::int8_t{-1});
+      continue;
+    }
+    OB_REQUIRE(static_cast<std::size_t>(from) < previous.num_dnns(),
+               "OmniBoostScheduler::reschedule: carried_from out of range");
+    const sim::Assignment& a =
+        previous.assignment(static_cast<std::size_t>(from));
+    OB_REQUIRE(a.size() == counts[d],
+               "OmniBoostScheduler::reschedule: carried stream layer-count "
+               "mismatch (carried_from must pair identical models)");
+    for (const device::ComponentId c : a)
+      warm.prior.push_back(static_cast<std::int8_t>(c));
+  }
+
+  // Memo carry-over: rewards are a pure function of (workload, mapping), so
+  // the memo is keyed by the mix signature and revived whenever the scenario
+  // returns to a mix it has scheduled before.
+  std::string signature;
+  for (const models::ModelId id : w.mix) {
+    signature += std::to_string(models::model_index(id));
+    signature += ',';
+  }
+  if (config_.cache) {
+    CarriedMemo& carried = carried_memos_[signature];
+    carried.last_used = ++memo_clock_;
+    warm.memo = &carried.memo;
+  }
+
+  // Single tree on purpose: the incremental budget is already small, and
+  // root-parallel trees cannot share the carried memo (the private-memo
+  // rule of the parallel search).
+  Mcts search(counts, batch_evaluator(w, active_estimator()), mcts);
+  search.set_warm_start(std::move(warm));
+  const MctsResult r = search.search();
+  if (config_.cache) evict_carried_memos(signature);
+
+  ScheduleResult out;
+  out.mapping = r.best_mapping;
+  out.expected_reward = r.best_reward;
+  out.evaluations = r.evaluations;
+  out.cache_hits = r.cache_hits;
+  out.decision_seconds = timer.seconds();
+  return out;
+}
+
+std::size_t OmniBoostScheduler::carried_memo_footprint() const {
+  std::size_t entries = 0;
+  for (const auto& [signature, carried] : carried_memos_) {
+    (void)signature;
+    entries += carried.memo.size();
+  }
+  return entries;
+}
+
+void OmniBoostScheduler::evict_carried_memos(const std::string& keep) {
+  if (config_.carried_memo_entries == 0) return;  // unbounded
+  // Long serving sessions touch many mixes; bound the retained footprint by
+  // dropping whole least-recently-rescheduled memos. The just-used mix is
+  // never dropped, so a single busy mix may exceed the cap by itself — its
+  // memo is bounded by the distinct mappings the shrunken warm budget can
+  // reach, and dropping it would only forfeit the carry-over benefit.
+  while (carried_memo_footprint() > config_.carried_memo_entries &&
+         carried_memos_.size() > 1) {
+    auto victim = carried_memos_.end();
+    for (auto it = carried_memos_.begin(); it != carried_memos_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == carried_memos_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == carried_memos_.end()) break;
+    carried_memos_.erase(victim);
+  }
 }
 
 MctsScheduler::MctsScheduler(std::string name, const models::ModelZoo& zoo,

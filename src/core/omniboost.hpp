@@ -45,6 +45,26 @@ struct OmniBoostConfig {
   /// reproduces the paper's sequential search bit-for-bit; kGemm is faster
   /// and deterministic, matching within float rounding (<= 1e-6).
   nn::KernelKind kernel = nn::default_kernel();
+  /// Budget multiplier for warm-started incremental decisions
+  /// (reschedule()): an incremental search spends
+  /// max(1, round(rollout_fraction * mcts.budget)) rollouts. The surviving
+  /// streams' previous assignments seed the search (MctsWarmStart), so a
+  /// fraction of the cold budget suffices — bench_serving_scenarios sweeps
+  /// the latency/throughput tradeoff. schedule() never reads this.
+  double rollout_fraction = 0.4;
+  /// Rollout bias toward the warm-start prior (MctsWarmStart::prior_bias).
+  /// High by design: at 0.9 a typical rollout deviates from the previous
+  /// mapping in only a couple of layers, so the incremental budget explores
+  /// a local neighbourhood of the previous decision (plus the unconstrained
+  /// layers of newly arrived streams) instead of scattering single-layer
+  /// flips that fragment pipeline stages.
+  double prior_bias = 0.9;
+  /// Retention cap on the carried evaluation memos, in total mapping->reward
+  /// entries across all mixes. Long serving sessions visit many mixes;
+  /// when the cap is exceeded the least-recently-rescheduled mixes' memos
+  /// are dropped (the current mix is always kept). Dropping a memo costs
+  /// re-evaluation only, never correctness. 0 = unbounded.
+  std::size_t carried_memo_entries = 200'000;
 };
 
 /// Production scheduler: estimator-guided Monte Carlo Tree Search.
@@ -62,14 +82,65 @@ class OmniBoostScheduler final : public IScheduler {
   std::string name() const override { return "OmniBoost"; }
   ScheduleResult schedule(const workload::Workload& w) override;
 
+  /// Warm-started incremental decision (serving runtime path): surviving
+  /// streams' previous assignments become the search prior, the budget
+  /// shrinks to rollout_fraction of the cold budget, and the evaluation
+  /// memo carries over between decisions on the same mix (cache hits from
+  /// earlier epochs are counted in ScheduleResult::cache_hits). Runs a
+  /// single search tree regardless of OmniBoostConfig::workers — splitting
+  /// an already-shrunken budget over root-parallel trees starves each one.
+  /// With ctx.warm_start == false this is exactly schedule(w).
+  ScheduleResult reschedule(const workload::Workload& w,
+                            const sim::Mapping& previous,
+                            const ScheduleContext& ctx) override;
+
   /// Replaces the search configuration (budget sweeps in the ablations).
-  void set_config(const OmniBoostConfig& config) { config_ = config; }
+  /// Drops the carried evaluation memos: a new kernel or evaluator setup
+  /// may score mappings differently, and replayed rewards must stay exact.
+  void set_config(const OmniBoostConfig& config) {
+    config_ = config;
+    carried_memos_.clear();
+  }
+
+  /// Total mapping->reward entries currently retained across the carried
+  /// memos (diagnostics; tests pin the eviction policy through this).
+  std::size_t carried_memo_footprint() const;
 
  private:
+  /// The estimator instance the search should query: the shared one when
+  /// its kernel matches config_.kernel, else a private clone with the
+  /// requested kernel (serialization round-trip; the shared instance is
+  /// never mutated).
+  std::shared_ptr<const ThroughputEstimator> active_estimator() const;
+  /// Scores a wave of mappings for workload \p w with ONE batched CNN
+  /// forward pass through \p est.
+  BatchMappingEvaluator batch_evaluator(
+      const workload::Workload& w,
+      std::shared_ptr<const ThroughputEstimator> est) const;
+  /// Forwards the scheduler-level batching/caching knobs into the generic
+  /// search config (rejecting values smuggled into the sub-config).
+  MctsConfig make_mcts_config() const;
+
+  /// Drops least-recently-used mixes' memos until the configured entry cap
+  /// holds again (keeping \p keep, the mix just rescheduled).
+  void evict_carried_memos(const std::string& keep);
+
   const models::ModelZoo* zoo_;
   const EmbeddingTensor* embedding_;
   std::shared_ptr<const ThroughputEstimator> estimator_;
   OmniBoostConfig config_;
+  /// One carried evaluation memo with its LRU stamp.
+  struct CarriedMemo {
+    EvaluationMemo memo;
+    std::uint64_t last_used = 0;
+  };
+  /// Per-mix evaluation memos carried across reschedule() calls, keyed by
+  /// the mix signature (ordered model indices). Estimator rewards are a
+  /// pure function of (workload, mapping), so a memo is valid for every
+  /// later decision on the same mix; cold schedule() never touches these.
+  /// Bounded by OmniBoostConfig::carried_memo_entries (LRU per mix).
+  std::unordered_map<std::string, CarriedMemo> carried_memos_;
+  std::uint64_t memo_clock_ = 0;
 };
 
 /// Generic search-based scheduler around an arbitrary mapping evaluator —

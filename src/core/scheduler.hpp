@@ -3,8 +3,18 @@
 /// The common interface every multi-DNN scheduler implements: OmniBoost,
 /// the GPU-only baseline, MOSAIC and the GA. Benches compare them through
 /// this interface and time their decisions.
+///
+/// Two entry points: schedule() is the paper's one-shot decision for a fixed
+/// mix, and reschedule() is the dynamic-scenario form — the serving runtime
+/// calls it whenever the mix changes mid-flight, handing the scheduler the
+/// previous mapping plus a ScheduleContext describing which streams
+/// survived. The default reschedule() falls back to schedule(), so every
+/// scheduler is serving-capable; warm-started schedulers (OmniBoost)
+/// override it to make incremental decisions cheaper.
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "sim/mapping.hpp"
 #include "workload/workload.hpp"
@@ -27,6 +37,26 @@ struct ScheduleResult {
   double board_seconds = 0.0;
 };
 
+/// Context of an incremental decision in a dynamic scenario
+/// (core::ServingRuntime): how the new workload relates to the one the
+/// previous mapping was produced for.
+struct ScheduleContext {
+  /// The workload the previous mapping scheduled. Not read by the built-in
+  /// schedulers (carried_from already encodes the old->new stream
+  /// relationship), but provided so overrides can interpret carried_from
+  /// indices without re-deriving the previous mix — e.g. a warm GA keying
+  /// saved populations by mix, or SLO-aware policies comparing mixes.
+  workload::Workload previous_workload;
+  /// For each stream of the NEW workload: the index of the same model in
+  /// previous_workload, or -1 for a stream that just arrived. Mixes are
+  /// duplicate-free, so the match is unambiguous.
+  std::vector<std::ptrdiff_t> carried_from;
+  /// False asks for a cold full-budget decision: warm-started schedulers
+  /// must behave exactly like schedule(). The serving runtime sets this
+  /// from ServingConfig::warm_start so cold/warm comparisons share one path.
+  bool warm_start = true;
+};
+
 /// A run-time multi-DNN workload manager.
 class IScheduler {
  public:
@@ -37,6 +67,20 @@ class IScheduler {
 
   /// Produces a layer-to-component mapping for the workload.
   virtual ScheduleResult schedule(const workload::Workload& w) = 0;
+
+  /// Contextual rescheduling after a mix change. The base implementation is
+  /// the adapter that keeps every one-shot scheduler serving-capable: it
+  /// ignores the context and recomputes from scratch via schedule().
+  /// Overrides may reuse \p previous (e.g. OmniBoost seeds its search with
+  /// the surviving streams' assignments and shrinks the budget), but must
+  /// fall back to plain schedule() when ctx.warm_start is false.
+  virtual ScheduleResult reschedule(const workload::Workload& w,
+                                    const sim::Mapping& previous,
+                                    const ScheduleContext& ctx) {
+    (void)previous;
+    (void)ctx;
+    return schedule(w);
+  }
 };
 
 }  // namespace omniboost::core

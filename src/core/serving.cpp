@@ -1,0 +1,143 @@
+#include "core/serving.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace omniboost::core {
+
+double mapping_churn(const sim::Mapping& previous,
+                     const std::vector<std::ptrdiff_t>& carried_from,
+                     const sim::Mapping& next, std::size_t* surviving_layers,
+                     std::size_t* moved_layers) {
+  OB_REQUIRE(carried_from.size() == next.num_dnns(),
+             "mapping_churn: carried_from arity mismatch");
+  std::size_t surviving = 0, moved = 0;
+  for (std::size_t d = 0; d < next.num_dnns(); ++d) {
+    const std::ptrdiff_t from = carried_from[d];
+    if (from < 0) continue;
+    OB_REQUIRE(static_cast<std::size_t>(from) < previous.num_dnns(),
+               "mapping_churn: carried_from out of range");
+    const sim::Assignment& was =
+        previous.assignment(static_cast<std::size_t>(from));
+    const sim::Assignment& now = next.assignment(d);
+    OB_REQUIRE(was.size() == now.size(),
+               "mapping_churn: surviving stream layer-count mismatch");
+    surviving += was.size();
+    for (std::size_t l = 0; l < was.size(); ++l)
+      if (was[l] != now[l]) ++moved;
+  }
+  if (surviving_layers != nullptr) *surviving_layers = surviving;
+  if (moved_layers != nullptr) *moved_layers = moved;
+  return surviving > 0 ? static_cast<double>(moved) /
+                             static_cast<double>(surviving)
+                       : 0.0;
+}
+
+ServingRuntime::ServingRuntime(const models::ModelZoo& zoo,
+                               const sim::DesSimulator& board,
+                               ServingConfig config)
+    : zoo_(&zoo), board_(&board), config_(config) {}
+
+ServingReport ServingRuntime::run(IScheduler& scheduler,
+                                  const workload::Scenario& scenario) const {
+  OB_REQUIRE(!scenario.empty(), "ServingRuntime::run: empty scenario");
+
+  ServingReport report;
+  report.epochs.reserve(scenario.size());
+
+  // Serving state: the mix currently on the board and its mapping.
+  std::vector<models::ModelId> present;
+  workload::Workload prev_w;
+  sim::Mapping prev_mapping;
+  bool have_prev = false;
+
+  std::size_t incremental = 0;
+  double incremental_seconds = 0.0;
+  double throughput_sum = 0.0;
+  std::size_t churn_epochs = 0;
+  double churn_sum = 0.0;
+
+  for (const workload::ScenarioEvent& e : scenario.events()) {
+    EpochReport ep;
+    ep.time_s = e.time_s;
+    ep.event =
+        std::string(e.kind == workload::ScenarioEventKind::kArrive ? "arrive "
+                                                                   : "depart ") +
+        std::string(models::model_name(e.model));
+
+    // Apply the event (Scenario construction already validated legality).
+    if (e.kind == workload::ScenarioEventKind::kArrive) {
+      present.push_back(e.model);
+    } else {
+      present.erase(std::find(present.begin(), present.end(), e.model));
+    }
+
+    if (present.empty()) {
+      // Idle epoch: nothing to schedule; the next decision starts cold.
+      ep.mix = "(idle)";
+      have_prev = false;
+      report.epochs.push_back(std::move(ep));
+      continue;
+    }
+
+    const workload::Workload w{present};
+    ep.mix = w.describe();
+    ep.mix_size = w.size();
+
+    if (!have_prev) {
+      ep.decision = scheduler.schedule(w);
+    } else {
+      ScheduleContext ctx;
+      ctx.previous_workload = prev_w;
+      ctx.warm_start = config_.warm_start;
+      ctx.carried_from.reserve(w.size());
+      for (const models::ModelId id : w.mix) {
+        const auto it =
+            std::find(prev_w.mix.begin(), prev_w.mix.end(), id);
+        ctx.carried_from.push_back(
+            it == prev_w.mix.end() ? std::ptrdiff_t{-1}
+                                   : it - prev_w.mix.begin());
+      }
+      ep.decision = scheduler.reschedule(w, prev_mapping, ctx);
+      ep.churn = mapping_churn(prev_mapping, ctx.carried_from,
+                               ep.decision.mapping, &ep.surviving_layers,
+                               &ep.moved_layers);
+      ++incremental;
+      incremental_seconds += ep.decision.decision_seconds;
+      if (ep.surviving_layers > 0) {
+        ++churn_epochs;
+        churn_sum += ep.churn;
+      }
+    }
+
+    // "Execute" the decision: steady-state measurement on the board.
+    const sim::ThroughputReport measured =
+        board_->simulate(w.resolve(*zoo_), ep.decision.mapping);
+    ep.feasible = measured.feasible;
+    ep.measured_throughput = measured.avg_throughput;
+
+    ++report.decisions;
+    report.total_decision_seconds += ep.decision.decision_seconds;
+    report.total_evaluations += ep.decision.evaluations;
+    report.total_cache_hits += ep.decision.cache_hits;
+    throughput_sum += ep.measured_throughput;
+
+    prev_w = w;
+    prev_mapping = ep.decision.mapping;
+    have_prev = true;
+    report.epochs.push_back(std::move(ep));
+  }
+
+  if (report.decisions > 0)
+    report.mean_throughput =
+        throughput_sum / static_cast<double>(report.decisions);
+  if (incremental > 0)
+    report.mean_incremental_decision_seconds =
+        incremental_seconds / static_cast<double>(incremental);
+  if (churn_epochs > 0)
+    report.mean_churn = churn_sum / static_cast<double>(churn_epochs);
+  return report;
+}
+
+}  // namespace omniboost::core

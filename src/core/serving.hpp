@@ -1,0 +1,102 @@
+#pragma once
+/// \file serving.hpp
+/// The dynamic serving runtime: replays a workload::Scenario (timestamped
+/// model arrivals/departures) against any core::IScheduler, invoking a
+/// contextual reschedule() on every mix change, scoring each epoch's mapping
+/// on the DES board simulator, and accumulating a ServingReport — per-epoch
+/// throughput, decision latency, and *mapping churn* (the fraction of
+/// surviving layers whose component assignment moved). This is the layer
+/// that turns the paper's one-shot decision into a serving loop; see
+/// docs/ARCHITECTURE.md "Serving runtime".
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "sim/des.hpp"
+#include "workload/scenario.hpp"
+
+namespace omniboost::core {
+
+/// Runtime controls.
+struct ServingConfig {
+  /// Passed through as ScheduleContext::warm_start on every incremental
+  /// decision: false forces cold full-budget decisions (the churn/latency
+  /// comparison baseline), true lets warm-started schedulers shrink their
+  /// budget and seed from the previous mapping.
+  bool warm_start = true;
+};
+
+/// One epoch = the serving interval that follows one scenario event.
+struct EpochReport {
+  double time_s = 0.0;       ///< event timestamp
+  std::string event;         ///< e.g. "arrive MobileNet"
+  std::string mix;           ///< Workload::describe() of the epoch's mix
+  std::size_t mix_size = 0;  ///< 0 = idle epoch (no decision was made)
+  ScheduleResult decision;   ///< mapping + latency + evaluator accounting
+  /// DES-measured average throughput T of the decided mapping (0 for idle
+  /// or infeasible epochs).
+  double measured_throughput = 0.0;
+  bool feasible = true;
+  /// Stability accounting over the streams present in BOTH the previous and
+  /// this epoch's mix: churn = moved_layers / surviving_layers (0 when
+  /// nothing survived, i.e. the first epoch or after an idle one).
+  std::size_t surviving_layers = 0;
+  std::size_t moved_layers = 0;
+  double churn = 0.0;
+};
+
+/// The whole serving session, plus the aggregates the benches compare.
+struct ServingReport {
+  std::vector<EpochReport> epochs;
+
+  std::size_t decisions = 0;          ///< epochs that scheduled (non-idle)
+  double total_decision_seconds = 0.0;
+  /// Mean decision latency over epochs 2..N (the incremental decisions a
+  /// warm-started scheduler accelerates; the first decision is always cold).
+  double mean_incremental_decision_seconds = 0.0;
+  double mean_throughput = 0.0;       ///< over non-idle epochs
+  double mean_churn = 0.0;            ///< over epochs with surviving layers
+  std::size_t total_evaluations = 0;
+  std::size_t total_cache_hits = 0;
+};
+
+/// Layer-level stability of a mix change: compares, for every surviving
+/// stream d (carried_from[d] >= 0), the new assignment against the previous
+/// one, counting layers whose component moved. Returns moved / surviving
+/// (0.0 when no layers survived). Exposed for tests and bench drivers.
+double mapping_churn(const sim::Mapping& previous,
+                     const std::vector<std::ptrdiff_t>& carried_from,
+                     const sim::Mapping& next,
+                     std::size_t* surviving_layers = nullptr,
+                     std::size_t* moved_layers = nullptr);
+
+/// Event loop that serves a Scenario with one scheduler.
+///
+/// Epoch semantics: after each event the runtime rebuilds the concurrent
+/// mix, asks the scheduler for a mapping — schedule() for the first decision
+/// (or after an idle epoch), reschedule() with a populated ScheduleContext
+/// otherwise — and measures the mapping on the board simulator. A
+/// single-event scenario therefore reproduces IScheduler::schedule()
+/// bit-for-bit for every scheduler, warm or cold (pinned by
+/// tests/serving_test.cpp).
+class ServingRuntime {
+ public:
+  /// \param zoo    dataset networks backing every mix
+  /// \param board  DES simulator standing in for the physical board
+  ServingRuntime(const models::ModelZoo& zoo, const sim::DesSimulator& board,
+                 ServingConfig config = {});
+
+  ServingReport run(IScheduler& scheduler,
+                    const workload::Scenario& scenario) const;
+
+  const ServingConfig& config() const { return config_; }
+
+ private:
+  const models::ModelZoo* zoo_;
+  const sim::DesSimulator* board_;
+  ServingConfig config_;
+};
+
+}  // namespace omniboost::core

@@ -6,6 +6,8 @@
 /// delay frames between stages; steady-state inferences/sec are measured
 /// after warm-up and then clipped by the shared-DRAM bandwidth wall.
 
+#include <memory>
+
 #include "sim/report.hpp"
 #include "sim/segments.hpp"
 #include "sim/trace.hpp"
@@ -59,9 +61,16 @@ class DesSimulator {
 
   const device::DeviceSpec& device() const { return cost_.device(); }
   const device::CostModel& cost_model() const { return cost_; }
-  /// Simulation controls — lets parallel pipelines build per-worker
-  /// simulator clones with identical settings (core::generate_dataset).
+  /// Simulation controls (exposed for clone() and diagnostics).
   const DesConfig& config() const { return config_; }
+
+  /// Independent simulator with the same spec + config — the standard way
+  /// for parallel pipelines (core::generate_dataset) and serving/bench
+  /// drivers to obtain private instances instead of hand-rebuilding them
+  /// from the device()/config() getters.
+  std::unique_ptr<DesSimulator> clone() const {
+    return std::make_unique<DesSimulator>(device(), config());
+  }
 
  private:
   /// Shared event loop; \p trace may be null (plain measurement).

@@ -1,0 +1,195 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace omniboost::workload {
+
+namespace {
+
+/// Replays events [0, upto) and returns the present models in arrival
+/// order, validating the scenario invariants along the way.
+std::vector<models::ModelId> replay(const std::vector<ScenarioEvent>& events,
+                                    std::size_t upto) {
+  std::vector<models::ModelId> present;
+  double prev_time = 0.0;
+  for (std::size_t i = 0; i < upto; ++i) {
+    const ScenarioEvent& e = events[i];
+    if (!(e.time_s >= 0.0) || std::isnan(e.time_s))
+      throw std::invalid_argument("Scenario: negative or NaN event time");
+    if (i > 0 && e.time_s < prev_time)
+      throw std::invalid_argument("Scenario: event times must be non-decreasing");
+    prev_time = e.time_s;
+    const auto it = std::find(present.begin(), present.end(), e.model);
+    if (e.kind == ScenarioEventKind::kArrive) {
+      if (it != present.end())
+        throw std::invalid_argument(
+            "Scenario: model '" + std::string(models::model_name(e.model)) +
+            "' arrives while already present");
+      present.push_back(e.model);
+    } else {
+      if (it == present.end())
+        throw std::invalid_argument(
+            "Scenario: model '" + std::string(models::model_name(e.model)) +
+            "' departs while absent");
+      present.erase(it);
+    }
+  }
+  return present;
+}
+
+}  // namespace
+
+Scenario::Scenario(std::vector<ScenarioEvent> events)
+    : events_(std::move(events)) {
+  replay(events_, events_.size());  // validation only
+}
+
+Workload Scenario::mix_after(std::size_t event_index) const {
+  OB_REQUIRE(event_index < events_.size(),
+             "Scenario::mix_after: event index out of range");
+  return Workload{replay(events_, event_index + 1)};
+}
+
+std::size_t Scenario::peak_concurrency() const {
+  std::size_t present = 0, peak = 0;
+  for (const ScenarioEvent& e : events_) {
+    if (e.kind == ScenarioEventKind::kArrive)
+      peak = std::max(peak, ++present);
+    else
+      --present;
+  }
+  return peak;
+}
+
+std::string Scenario::describe() const {
+  char buf[96];
+  const double span = events_.empty() ? 0.0 : events_.back().time_s;
+  std::snprintf(buf, sizeof(buf), "%zu events / %.1f s / peak %zu",
+                events_.size(), span, peak_concurrency());
+  return buf;
+}
+
+Scenario random_scenario(util::Rng& rng, const ScenarioConfig& config) {
+  OB_REQUIRE(config.events >= 1, "random_scenario: need at least one event");
+  OB_REQUIRE(config.min_concurrent >= 1,
+             "random_scenario: min_concurrent must be >= 1");
+  OB_REQUIRE(config.max_concurrent >= config.min_concurrent &&
+                 config.max_concurrent <= models::kNumModels,
+             "random_scenario: max_concurrent out of range");
+  // A zero-width band freezes the mix once it fills: no model may depart
+  // (floor) or arrive (ceiling), so only the filling arrivals are legal.
+  OB_REQUIRE(config.max_concurrent > config.min_concurrent ||
+                 config.events <= config.max_concurrent,
+             "random_scenario: with min_concurrent == max_concurrent the mix "
+             "freezes once full — request at most max_concurrent events or "
+             "widen the band");
+
+  std::vector<ScenarioEvent> events;
+  events.reserve(config.events);
+  std::vector<models::ModelId> present;
+  std::vector<models::ModelId> absent(models::kAllModels.begin(),
+                                      models::kAllModels.end());
+  double t = 0.0;
+  for (std::size_t i = 0; i < config.events; ++i) {
+    // A departure is legal only above the concurrency floor; an arrival only
+    // below the ceiling (the absent pool can never run dry below it).
+    const bool can_depart = present.size() > config.min_concurrent;
+    const bool can_arrive = present.size() < config.max_concurrent;
+    OB_ENSURE(can_depart || can_arrive, "random_scenario: dead config");
+    const bool depart = can_depart &&
+                        (!can_arrive || rng.chance(config.depart_bias));
+
+    ScenarioEvent e;
+    e.time_s = t;
+    if (depart) {
+      const std::size_t pick = rng.below(present.size());
+      e.kind = ScenarioEventKind::kDepart;
+      e.model = present[pick];
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(pick));
+      absent.push_back(e.model);
+    } else {
+      const std::size_t pick = rng.below(absent.size());
+      e.kind = ScenarioEventKind::kArrive;
+      e.model = absent[pick];
+      present.push_back(e.model);
+      absent.erase(absent.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    events.push_back(e);
+    // Exponential gap to the next event (inverse-CDF; uniform() < 1 always).
+    t += config.mean_interarrival_s * -std::log1p(-rng.uniform());
+  }
+  return Scenario(std::move(events));
+}
+
+std::string serialize_scenario(const Scenario& scenario) {
+  std::string out = "# omniboost scenario trace v1\n";
+  char buf[64];
+  for (const ScenarioEvent& e : scenario.events()) {
+    std::snprintf(buf, sizeof(buf), "%.17g", e.time_s);
+    out += "at ";
+    out += buf;
+    out += e.kind == ScenarioEventKind::kArrive ? " arrive " : " depart ";
+    out += std::string(models::model_name(e.model));
+    out += '\n';
+  }
+  return out;
+}
+
+Scenario parse_scenario(std::istream& in) {
+  std::vector<ScenarioEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("scenario trace line " +
+                                  std::to_string(line_no) + ": " + why);
+    };
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;  // blank or comment
+    if (word != "at") fail("expected 'at <time> <arrive|depart> <model>'");
+    ScenarioEvent e;
+    if (!(ls >> e.time_s)) fail("missing or malformed timestamp");
+    std::string kind, model;
+    if (!(ls >> kind >> model)) fail("missing event kind or model name");
+    if (kind == "arrive")
+      e.kind = ScenarioEventKind::kArrive;
+    else if (kind == "depart")
+      e.kind = ScenarioEventKind::kDepart;
+    else
+      fail("unknown event kind '" + kind + "'");
+    if (!models::parse_model_name(model, e.model))
+      fail("unknown model '" + model + "'");
+    if (ls >> word && word[0] != '#') fail("trailing tokens after model name");
+    events.push_back(e);
+  }
+  return Scenario(std::move(events));
+}
+
+Scenario parse_scenario(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in);
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open scenario trace: " + path);
+  return parse_scenario(in);
+}
+
+void save_scenario_file(const Scenario& scenario, const std::string& path) {
+  std::ofstream out(path);
+  out << serialize_scenario(scenario);
+  out.flush();
+  if (!out)
+    throw std::invalid_argument("cannot write scenario trace: " + path);
+}
+
+}  // namespace omniboost::workload

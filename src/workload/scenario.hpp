@@ -1,0 +1,111 @@
+#pragma once
+/// \file scenario.hpp
+/// Dynamic multi-DNN scenarios: a timestamped script of models arriving at
+/// and departing from the board. Where workload::Workload answers "what is
+/// running right now", a Scenario describes how that answer changes over a
+/// serving session — the input the core::ServingRuntime replays against an
+/// IScheduler to exercise contextual rescheduling.
+///
+/// Scenarios are scriptable and replayable: a seeded random generator
+/// (random_scenario) produces churn sweeps deterministically, and a small
+/// line-based text trace format round-trips through
+/// serialize_scenario/parse_scenario:
+///
+///     # omniboost scenario trace v1
+///     at 0 arrive VGG-19
+///     at 2.5 arrive AlexNet
+///     at 7.25 depart VGG-19
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "models/model_id.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace omniboost::workload {
+
+/// What happens to a model stream at an event.
+enum class ScenarioEventKind { kArrive, kDepart };
+
+/// One change to the concurrent mix.
+struct ScenarioEvent {
+  double time_s = 0.0;  ///< event timestamp (seconds since scenario start)
+  ScenarioEventKind kind = ScenarioEventKind::kArrive;
+  models::ModelId model = models::ModelId::kAlexNet;
+
+  bool operator==(const ScenarioEvent& rhs) const {
+    return time_s == rhs.time_s && kind == rhs.kind && model == rhs.model;
+  }
+  bool operator!=(const ScenarioEvent& rhs) const { return !(*this == rhs); }
+};
+
+/// A validated arrival/departure script over the model zoo.
+///
+/// Invariants (enforced at construction, std::invalid_argument on breach):
+/// timestamps are non-negative and non-decreasing, a model arrives only
+/// while absent and departs only while present (mixes stay duplicate-free,
+/// mirroring the embedding tensor's one-column-per-model layout), and the
+/// concurrent mix never exceeds the dataset size. The mix MAY become empty
+/// mid-scenario; the serving runtime records such epochs as idle.
+class Scenario {
+ public:
+  Scenario() = default;
+  explicit Scenario(std::vector<ScenarioEvent> events);
+
+  const std::vector<ScenarioEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// The concurrent mix in effect after replaying events [0, event_index]
+  /// (arrival order preserved; departures close ranks).
+  Workload mix_after(std::size_t event_index) const;
+
+  /// Largest concurrent mix size reached over the scenario.
+  std::size_t peak_concurrency() const;
+
+  /// Human-readable one-line summary, e.g. "8 events / 12.4 s / peak 4".
+  std::string describe() const;
+
+  bool operator==(const Scenario& rhs) const { return events_ == rhs.events_; }
+  bool operator!=(const Scenario& rhs) const { return !(*this == rhs); }
+
+ private:
+  std::vector<ScenarioEvent> events_;
+};
+
+/// Knobs of the seeded scenario generator.
+struct ScenarioConfig {
+  std::size_t events = 8;          ///< total arrive/depart events
+  std::size_t min_concurrent = 1;  ///< departures never drop the mix below
+  std::size_t max_concurrent = 4;  ///< arrivals never grow the mix beyond
+  /// Chance of drawing a departure when both kinds are legal. Higher values
+  /// mean shorter-lived streams, i.e. more churn per unit time.
+  double depart_bias = 0.4;
+  /// Mean of the exponential inter-event gap (the first event fires at 0).
+  double mean_interarrival_s = 5.0;
+};
+
+/// Draws a random scenario from \p rng. The draw sequence depends only on
+/// the Rng stream and the config, so `Rng(util::fork_stream(seed, i))`
+/// reproduces scenario i of a sweep bit-for-bit regardless of what else ran.
+/// The first event is always an arrival at t = 0.
+Scenario random_scenario(util::Rng& rng, const ScenarioConfig& config = {});
+
+/// Writes the text trace form shown in the file header. Timestamps are
+/// printed with "%.17g" so parse_scenario round-trips them bit-exactly.
+std::string serialize_scenario(const Scenario& scenario);
+
+/// Parses the text trace format: one `at <time> <arrive|depart> <model>`
+/// statement per line; blank lines and `#` comments are ignored. Model names
+/// go through models::parse_model_name (case-insensitive, dash-tolerant).
+/// Throws std::invalid_argument on malformed lines or invariant breaches.
+Scenario parse_scenario(std::istream& in);
+Scenario parse_scenario(const std::string& text);
+
+/// File convenience wrappers around the trace format.
+Scenario load_scenario_file(const std::string& path);
+void save_scenario_file(const Scenario& scenario, const std::string& path);
+
+}  // namespace omniboost::workload

@@ -1,0 +1,160 @@
+// workload::Scenario: generator determinism under fork_stream, generator
+// invariants, trace round-trips, validation errors, and mix replay.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace omniboost;
+using models::ModelId;
+using workload::Scenario;
+using workload::ScenarioConfig;
+using workload::ScenarioEvent;
+using workload::ScenarioEventKind;
+
+TEST(ScenarioGenerator, DeterministicUnderForkStream) {
+  ScenarioConfig cfg;
+  cfg.events = 20;
+  cfg.max_concurrent = 5;
+  for (std::uint64_t index : {0ull, 3ull, 17ull}) {
+    util::Rng a(util::fork_stream(99, index));
+    util::Rng b(util::fork_stream(99, index));
+    EXPECT_EQ(workload::random_scenario(a, cfg),
+              workload::random_scenario(b, cfg))
+        << "stream " << index;
+  }
+  // Distinct stream indices give distinct scenarios.
+  util::Rng s0(util::fork_stream(99, 0));
+  util::Rng s1(util::fork_stream(99, 1));
+  EXPECT_NE(workload::random_scenario(s0, cfg),
+            workload::random_scenario(s1, cfg));
+}
+
+TEST(ScenarioGenerator, RespectsConcurrencyBandAndLegality) {
+  ScenarioConfig cfg;
+  cfg.events = 40;
+  cfg.min_concurrent = 2;
+  cfg.max_concurrent = 4;
+  cfg.depart_bias = 0.5;
+  util::Rng rng(7);
+  const Scenario s = workload::random_scenario(rng, cfg);
+  ASSERT_EQ(s.size(), 40u);
+  EXPECT_EQ(s.events().front().time_s, 0.0);
+  EXPECT_EQ(s.events().front().kind, ScenarioEventKind::kArrive);
+
+  std::set<ModelId> present;
+  double prev_t = 0.0;
+  for (const ScenarioEvent& e : s.events()) {
+    EXPECT_GE(e.time_s, prev_t);
+    prev_t = e.time_s;
+    if (e.kind == ScenarioEventKind::kArrive) {
+      EXPECT_TRUE(present.insert(e.model).second);  // was absent
+      EXPECT_LE(present.size(), cfg.max_concurrent);
+    } else {
+      EXPECT_EQ(present.erase(e.model), 1u);  // was present
+      EXPECT_GE(present.size(), cfg.min_concurrent);
+    }
+  }
+  EXPECT_LE(s.peak_concurrency(), cfg.max_concurrent);
+}
+
+TEST(ScenarioGenerator, RejectsZeroWidthBandThatWouldFreeze) {
+  ScenarioConfig cfg;
+  cfg.min_concurrent = 2;
+  cfg.max_concurrent = 2;
+  cfg.events = 6;  // more events than the band can ever legally produce
+  util::Rng rng(1);
+  EXPECT_THROW(workload::random_scenario(rng, cfg), std::invalid_argument);
+  // Filling the band exactly is fine: two arrivals, then stop.
+  cfg.events = 2;
+  const Scenario s = workload::random_scenario(rng, cfg);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.peak_concurrency(), 2u);
+}
+
+TEST(ScenarioTrace, RoundTripsBitExactly) {
+  ScenarioConfig cfg;
+  cfg.events = 25;
+  cfg.max_concurrent = 5;
+  cfg.depart_bias = 0.5;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    util::Rng rng(seed);
+    const Scenario original = workload::random_scenario(rng, cfg);
+    const std::string trace = workload::serialize_scenario(original);
+    const Scenario parsed = workload::parse_scenario(trace);
+    EXPECT_EQ(original, parsed) << "seed " << seed;
+    // Idempotent: serializing the parse reproduces the text.
+    EXPECT_EQ(trace, workload::serialize_scenario(parsed));
+  }
+}
+
+TEST(ScenarioTrace, ParsesCommentsBlanksAndNameVariants) {
+  const Scenario s = workload::parse_scenario(
+      "# a comment\n"
+      "\n"
+      "at 0 arrive vgg19\n"
+      "at 1.5 arrive AlexNet\n"
+      "at 2.25 depart VGG-19\n");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.events()[0].model, ModelId::kVgg19);
+  EXPECT_EQ(s.events()[1].time_s, 1.5);
+  EXPECT_EQ(s.events()[2].kind, ScenarioEventKind::kDepart);
+}
+
+TEST(ScenarioTrace, RejectsMalformedLines) {
+  EXPECT_THROW(workload::parse_scenario("arrive 0 AlexNet\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload::parse_scenario("at x arrive AlexNet\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload::parse_scenario("at 0 vanish AlexNet\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload::parse_scenario("at 0 arrive NotANet\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload::parse_scenario("at 0 arrive AlexNet extra\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioValidation, RejectsIllegalEventSequences) {
+  const auto arrive = [](double t, ModelId m) {
+    return ScenarioEvent{t, ScenarioEventKind::kArrive, m};
+  };
+  const auto depart = [](double t, ModelId m) {
+    return ScenarioEvent{t, ScenarioEventKind::kDepart, m};
+  };
+  // Double arrival.
+  EXPECT_THROW(Scenario({arrive(0, ModelId::kAlexNet),
+                         arrive(1, ModelId::kAlexNet)}),
+               std::invalid_argument);
+  // Departure of an absent model.
+  EXPECT_THROW(Scenario({arrive(0, ModelId::kAlexNet),
+                         depart(1, ModelId::kVgg16)}),
+               std::invalid_argument);
+  // Time going backwards.
+  EXPECT_THROW(Scenario({arrive(1, ModelId::kAlexNet),
+                         arrive(0.5, ModelId::kVgg16)}),
+               std::invalid_argument);
+  // Negative time.
+  EXPECT_THROW(Scenario({arrive(-1, ModelId::kAlexNet)}),
+               std::invalid_argument);
+}
+
+TEST(ScenarioReplay, MixAfterTracksArrivalOrderAndDepartures) {
+  const Scenario s = workload::parse_scenario(
+      "at 0 arrive VGG-19\n"
+      "at 1 arrive AlexNet\n"
+      "at 2 arrive MobileNet\n"
+      "at 3 depart VGG-19\n"
+      "at 4 depart AlexNet\n"
+      "at 5 depart MobileNet\n");
+  EXPECT_EQ(s.mix_after(2).describe(), "VGG-19+AlexNet+MobileNet");
+  EXPECT_EQ(s.mix_after(3).describe(), "AlexNet+MobileNet");
+  EXPECT_EQ(s.mix_after(5).size(), 0u);  // fully drained
+  EXPECT_EQ(s.peak_concurrency(), 3u);
+}
+
+}  // namespace

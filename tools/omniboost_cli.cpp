@@ -4,11 +4,19 @@
 /// user-specified multi-DNN mix with a chosen scheduler, and reports the
 /// mapping plus the board-measured throughput — in text or JSON.
 ///
+/// Two modes: the default one-shot decision for a fixed --mix, and the
+/// `serve` subcommand, which replays a dynamic scenario (model arrivals and
+/// departures, from a trace file or the seeded generator) through the
+/// core::ServingRuntime and reports per-epoch throughput, decision latency
+/// and mapping churn.
+///
 /// Examples:
 ///   omniboost_cli --mix VGG-19,AlexNet,MobileNet
 ///   omniboost_cli --mix vgg16,resnet50,alexnet,mobilenet --scheduler ga
 ///   omniboost_cli --mix alexnet --save-estimator est.bin
 ///   omniboost_cli --mix alexnet --estimator-file est.bin --json
+///   omniboost_cli serve --events 10 --estimator-file est.bin
+///   omniboost_cli serve --scenario trace.txt --cold --json
 
 #include <algorithm>
 #include <cstdio>
@@ -21,6 +29,7 @@
 #include "core/dataset.hpp"
 #include "device/profile.hpp"
 #include "core/omniboost.hpp"
+#include "core/serving.hpp"
 #include "nn/kernel.hpp"
 #include "nn/loss.hpp"
 #include "sched/baseline.hpp"
@@ -33,7 +42,9 @@
 #include "sim/gantt.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
+#include "workload/scenario.hpp"
 #include "workload/workload.hpp"
 
 namespace {
@@ -67,13 +78,14 @@ std::unique_ptr<core::IScheduler> make_scheduler(
     const device::DeviceSpec& device, const core::EmbeddingTensor& embedding,
     std::shared_ptr<const core::ThroughputEstimator> estimator,
     std::size_t budget, std::size_t depth, std::size_t batch,
-    std::uint64_t seed) {
+    std::uint64_t seed, double rollout_fraction = 0.4) {
   if (kind == "omniboost") {
     core::OmniBoostConfig cfg;
     cfg.mcts.budget = budget;
     cfg.mcts.max_depth = depth;
     cfg.mcts.seed = seed;
     cfg.batch_size = batch;
+    cfg.rollout_fraction = rollout_fraction;
     return std::make_unique<core::OmniBoostScheduler>(zoo, embedding,
                                                       std::move(estimator),
                                                       cfg);
@@ -118,13 +130,15 @@ std::unique_ptr<core::IScheduler> make_scheduler(
       "' (omniboost|baseline|mosaic|ga|greedy|random|annealing)");
 }
 
-int run(int argc, char** argv) {
-  util::ArgParser args(
-      "omniboost_cli",
-      "schedule a multi-DNN mix on the simulated HiKey970 and report "
-      "throughput");
-  args.option("mix", "comma-separated DNN list, e.g. VGG-19,AlexNet,MobileNet")
-      .option("scheduler",
+/// True when \p kind queries the trained throughput estimator.
+bool needs_estimator(const std::string& kind) {
+  return kind == "omniboost" || kind == "random" || kind == "annealing";
+}
+
+/// Options shared by the one-shot and `serve` modes — declared through one
+/// helper so defaults and help text cannot drift between the two parsers.
+void declare_common_options(util::ArgParser& args) {
+  args.option("scheduler",
               "omniboost|baseline|mosaic|ga|greedy|random|annealing",
               "omniboost")
       .option("budget", "search budget (estimator queries)", "500")
@@ -144,8 +158,76 @@ int run(int argc, char** argv) {
       .option("seed", "master seed", "1")
       .option("estimator-file", "load a trained estimator instead of training")
       .option("save-estimator", "write the trained estimator to this path")
-      .option("device-file", "board profile (INI) instead of the built-in HiKey970")
-      .option("save-device-profile", "write the active board profile and exit")
+      .option("device-file",
+              "board profile (INI) instead of the built-in HiKey970");
+}
+
+/// Board model selection shared by both modes.
+device::DeviceSpec build_device(const util::ArgParser& args) {
+  return args.has("device-file")
+             ? device::load_profile_file(args.get("device-file"))
+             : device::make_hikey970();
+}
+
+/// Validated --design-workers value.
+std::size_t parse_design_workers(const util::ArgParser& args) {
+  const long long raw = args.get_int("design-workers");
+  if (raw < 0) {
+    throw std::invalid_argument(
+        "--design-workers must be >= 0 (0 = sequential paper pipeline)");
+  }
+  return static_cast<std::size_t>(raw);
+}
+
+/// Trains or loads the throughput estimator (shared by both CLI modes; the
+/// relevant options come from declare_common_options on both parsers).
+std::shared_ptr<const core::ThroughputEstimator> prepare_estimator(
+    const util::ArgParser& args, const models::ModelZoo& zoo,
+    const core::EmbeddingTensor& embedding, const sim::DesSimulator& board,
+    std::uint64_t seed, std::size_t design_workers, bool quiet) {
+  if (args.has("estimator-file")) {
+    const std::string est_path = args.get("estimator-file");
+    auto estimator = std::make_shared<const core::ThroughputEstimator>(
+        core::ThroughputEstimator::load_file(est_path));
+    if (!quiet) std::printf("loaded estimator from %s\n", est_path.c_str());
+    return estimator;
+  }
+  if (!quiet)
+    std::printf("training estimator (%lld workloads, %lld epochs)...\n",
+                static_cast<long long>(args.get_int("samples")),
+                static_cast<long long>(args.get_int("epochs")));
+  core::DatasetConfig dc;
+  dc.samples = static_cast<std::size_t>(args.get_int("samples"));
+  dc.seed = seed + 41;
+  dc.workers = design_workers;
+  const core::SampleSet data =
+      core::generate_dataset(zoo, embedding, board, dc);
+  auto est = std::make_shared<core::ThroughputEstimator>(
+      embedding.models_dim(), embedding.layers_dim());
+  nn::L1Loss l1;
+  nn::TrainConfig tc;
+  tc.epochs = static_cast<std::size_t>(args.get_int("epochs"));
+  tc.workers = std::max<std::size_t>(design_workers, 1);
+  const auto history = est->fit(data, dc.samples / 5, l1, tc);
+  if (!quiet)
+    std::printf("final train loss %.4f, val loss %.4f\n",
+                history.train_loss.back(), history.val_loss.back());
+  if (args.has("save-estimator")) {
+    const std::string save_path = args.get("save-estimator");
+    est->save_file(save_path);
+    if (!quiet) std::printf("saved estimator to %s\n", save_path.c_str());
+  }
+  return est;
+}
+
+int run(int argc, char** argv) {
+  util::ArgParser args(
+      "omniboost_cli",
+      "schedule a multi-DNN mix on the simulated HiKey970 and report "
+      "throughput");
+  args.option("mix", "comma-separated DNN list, e.g. VGG-19,AlexNet,MobileNet");
+  declare_common_options(args);
+  args.option("save-device-profile", "write the active board profile and exit")
       .flag("json", "emit a machine-readable JSON report")
       .flag("trace", "include per-component utilization in the report")
       .flag("gantt", "render an ASCII execution timeline (text mode only)");
@@ -156,22 +238,14 @@ int run(int argc, char** argv) {
   // Applied before any network is built: layers capture the default at
   // construction, so this one call covers training, loading, and search.
   nn::set_default_kernel(nn::parse_kernel_name(args.get("kernel")));
-  const long long design_workers_raw = args.get_int("design-workers");
-  if (design_workers_raw < 0) {
-    throw std::invalid_argument(
-        "--design-workers must be >= 0 (0 = sequential paper pipeline)");
-  }
-  const auto design_workers = static_cast<std::size_t>(design_workers_raw);
+  const std::size_t design_workers = parse_design_workers(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const bool as_json = args.get_flag("json");
   const bool with_trace = args.get_flag("trace");
   const bool with_gantt = args.get_flag("gantt");
 
   // --- Substrate: board model, zoo, kernel profiling (embedding tensor).
-  const device::DeviceSpec device =
-      args.has("device-file")
-          ? device::load_profile_file(args.get("device-file"))
-          : device::make_hikey970();
+  const device::DeviceSpec device = build_device(args);
   if (args.has("save-device-profile")) {
     const std::string path = args.get("save-device-profile");
     device::save_profile_file(device, path);
@@ -186,45 +260,9 @@ int run(int argc, char** argv) {
 
   // --- Design time: train or load the estimator (model-driven schedulers).
   std::shared_ptr<const core::ThroughputEstimator> estimator;
-  const bool needs_estimator = scheduler_kind == "omniboost" ||
-                               scheduler_kind == "random" ||
-                               scheduler_kind == "annealing";
-  if (needs_estimator) {
-    if (args.has("estimator-file")) {
-      const std::string est_path = args.get("estimator-file");
-      estimator = std::make_shared<const core::ThroughputEstimator>(
-          core::ThroughputEstimator::load_file(est_path));
-      if (!as_json)
-        std::printf("loaded estimator from %s\n", est_path.c_str());
-    } else {
-      if (!as_json)
-        std::printf("training estimator (%lld workloads, %lld epochs)...\n",
-                    static_cast<long long>(args.get_int("samples")),
-                    static_cast<long long>(args.get_int("epochs")));
-      core::DatasetConfig dc;
-      dc.samples = static_cast<std::size_t>(args.get_int("samples"));
-      dc.seed = seed + 41;
-      dc.workers = design_workers;
-      const core::SampleSet data =
-          core::generate_dataset(zoo, embedding, board, dc);
-      auto est = std::make_shared<core::ThroughputEstimator>(
-          embedding.models_dim(), embedding.layers_dim());
-      nn::L1Loss l1;
-      nn::TrainConfig tc;
-      tc.epochs = static_cast<std::size_t>(args.get_int("epochs"));
-      tc.workers = std::max<std::size_t>(design_workers, 1);
-      const auto history = est->fit(data, dc.samples / 5, l1, tc);
-      if (!as_json)
-        std::printf("final train loss %.4f, val loss %.4f\n",
-                    history.train_loss.back(), history.val_loss.back());
-      if (args.has("save-estimator")) {
-        const std::string save_path = args.get("save-estimator");
-        est->save_file(save_path);
-        if (!as_json)
-          std::printf("saved estimator to %s\n", save_path.c_str());
-      }
-      estimator = est;
-    }
+  if (needs_estimator(scheduler_kind)) {
+    estimator = prepare_estimator(args, zoo, embedding, board, seed,
+                                  design_workers, as_json);
   }
 
   // --- Run time: one scheduling decision plus a board measurement.
@@ -337,10 +375,169 @@ int run(int argc, char** argv) {
   return 0;
 }
 
+/// The `serve` subcommand: dynamic multi-DNN serving over a scenario.
+int run_serve(int argc, char** argv) {
+  util::ArgParser args(
+      "omniboost_cli serve",
+      "replay a dynamic arrival/departure scenario through the serving "
+      "runtime and report per-epoch throughput, decision latency and "
+      "mapping churn");
+  args.option("scenario",
+              "scenario trace file (`at <t> <arrive|depart> <model>` lines); "
+              "omit to generate one from the seed")
+      .option("events", "generated scenario: arrive/depart event count", "10")
+      .option("max-concurrent", "generated scenario: concurrency ceiling", "4")
+      .option("min-concurrent", "generated scenario: concurrency floor", "1")
+      .option("depart-bias",
+              "generated scenario: departure probability when legal", "0.4")
+      .option("interarrival", "generated scenario: mean event gap (s)", "5")
+      .option("save-scenario", "write the replayed scenario trace to this path")
+      .option("rollout-fraction",
+              "warm-started incremental budget as a fraction of --budget",
+              "0.4");
+  declare_common_options(args);
+  args.flag("cold",
+            "disable warm-started rescheduling: every event gets a cold "
+            "full-budget decision (the stability/latency baseline)")
+      .flag("json", "emit a machine-readable JSON report");
+  if (!args.parse(argc, argv)) return 0;
+
+  nn::set_default_kernel(nn::parse_kernel_name(args.get("kernel")));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const bool as_json = args.get_flag("json");
+  const bool warm = !args.get_flag("cold");
+  const std::string scheduler_kind = args.get("scheduler");
+  const std::size_t design_workers = parse_design_workers(args);
+
+  // --- The scenario: load a trace, or draw one from the master seed.
+  workload::Scenario scenario;
+  if (args.has("scenario")) {
+    scenario = workload::load_scenario_file(args.get("scenario"));
+  } else {
+    // Validate before the size_t casts: a negative count would wrap to a
+    // huge value and die later with a cryptic allocation error.
+    for (const char* name : {"events", "max-concurrent", "min-concurrent"}) {
+      if (args.get_int(name) < 1)
+        throw std::invalid_argument(std::string("--") + name +
+                                    " must be >= 1");
+    }
+    workload::ScenarioConfig sc;
+    sc.events = static_cast<std::size_t>(args.get_int("events"));
+    sc.max_concurrent = static_cast<std::size_t>(args.get_int("max-concurrent"));
+    sc.min_concurrent = static_cast<std::size_t>(args.get_int("min-concurrent"));
+    sc.depart_bias = args.get_double("depart-bias");
+    sc.mean_interarrival_s = args.get_double("interarrival");
+    util::Rng rng(seed);
+    scenario = workload::random_scenario(rng, sc);
+  }
+  if (args.has("save-scenario")) {
+    workload::save_scenario_file(scenario, args.get("save-scenario"));
+    if (!as_json)
+      std::printf("wrote scenario trace to %s\n",
+                  args.get("save-scenario").c_str());
+  }
+
+  // --- Substrate + design time, identical to the one-shot mode.
+  const device::DeviceSpec device = build_device(args);
+  const models::ModelZoo zoo;
+  const device::CostModel cost(device);
+  const core::EmbeddingTensor embedding(zoo, cost);
+  const sim::DesSimulator board(device);
+
+  std::shared_ptr<const core::ThroughputEstimator> estimator;
+  if (needs_estimator(scheduler_kind)) {
+    estimator = prepare_estimator(args, zoo, embedding, board, seed,
+                                  design_workers, as_json);
+  }
+
+  auto scheduler = make_scheduler(
+      scheduler_kind, zoo, device, embedding, estimator,
+      static_cast<std::size_t>(args.get_int("budget")),
+      static_cast<std::size_t>(args.get_int("depth")),
+      static_cast<std::size_t>(args.get_int("batch")), seed,
+      args.get_double("rollout-fraction"));
+
+  // --- Serve.
+  core::ServingConfig sc;
+  sc.warm_start = warm;
+  const core::ServingRuntime runtime(zoo, board, sc);
+  const core::ServingReport report = runtime.run(*scheduler, scenario);
+
+  if (as_json) {
+    util::Json out = util::Json::object();
+    out.set("scenario", util::Json::string(scenario.describe()));
+    out.set("scheduler", util::Json::string(scheduler->name()));
+    out.set("warm_start", util::Json::boolean(warm));
+    util::Json epochs = util::Json::array();
+    for (const core::EpochReport& ep : report.epochs) {
+      util::Json j = util::Json::object();
+      j.set("t_s", util::Json::number(ep.time_s));
+      j.set("event", util::Json::string(ep.event));
+      j.set("mix", util::Json::string(ep.mix));
+      // Idle epochs (the mix drained; nothing was scheduled) carry default
+      // decision fields — flag them so consumers can filter without
+      // string-matching the mix label.
+      j.set("idle", util::Json::boolean(ep.mix_size == 0));
+      j.set("mix_size", util::Json::number(ep.mix_size));
+      j.set("feasible", util::Json::boolean(ep.feasible));
+      j.set("decision_seconds",
+            util::Json::number(ep.decision.decision_seconds));
+      j.set("evaluations", util::Json::number(ep.decision.evaluations));
+      j.set("cache_hits", util::Json::number(ep.decision.cache_hits));
+      j.set("avg_throughput_inf_s",
+            util::Json::number(ep.measured_throughput));
+      j.set("churn", util::Json::number(ep.churn));
+      j.set("surviving_layers", util::Json::number(ep.surviving_layers));
+      j.set("moved_layers", util::Json::number(ep.moved_layers));
+      epochs.push_back(std::move(j));
+    }
+    out.set("epochs", std::move(epochs));
+    out.set("decisions", util::Json::number(report.decisions));
+    out.set("mean_throughput_inf_s",
+            util::Json::number(report.mean_throughput));
+    out.set("mean_incremental_decision_seconds",
+            util::Json::number(report.mean_incremental_decision_seconds));
+    out.set("total_decision_seconds",
+            util::Json::number(report.total_decision_seconds));
+    out.set("mean_churn", util::Json::number(report.mean_churn));
+    out.set("total_evaluations", util::Json::number(report.total_evaluations));
+    out.set("total_cache_hits", util::Json::number(report.total_cache_hits));
+    std::printf("%s\n", out.dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("\nscenario: %s | scheduler: %s | warm-started rescheduling: %s\n",
+              scenario.describe().c_str(), scheduler->name().c_str(),
+              warm ? "on" : "off");
+  util::Table table({"t (s)", "event", "mix", "decision s", "evals", "hits",
+                     "T inf/s", "churn"});
+  for (const core::EpochReport& ep : report.epochs) {
+    table.add_row(
+        {util::fmt(ep.time_s, 2), ep.event, ep.mix,
+         ep.mix_size == 0 ? "-" : util::fmt(ep.decision.decision_seconds, 3),
+         std::to_string(ep.decision.evaluations),
+         std::to_string(ep.decision.cache_hits),
+         ep.mix_size == 0 ? "-" : util::fmt(ep.measured_throughput, 2),
+         ep.surviving_layers == 0 ? "-"
+                                  : util::fmt(100.0 * ep.churn, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::printf("\n%zu decisions | mean T %.3f inf/s | mean incremental "
+              "decision %.3f s | mean churn %.1f%% | %zu evaluator queries "
+              "(%zu memo hits)\n",
+              report.decisions, report.mean_throughput,
+              report.mean_incremental_decision_seconds,
+              100.0 * report.mean_churn, report.total_evaluations,
+              report.total_cache_hits);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc > 1 && std::string(argv[1]) == "serve")
+      return run_serve(argc - 1, argv + 1);
     return run(argc, argv);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n(use --help for usage)\n", e.what());
