@@ -93,8 +93,12 @@ int main() {
     std::printf("--- churn level %s: %s ---\n", level.name,
                 scenario.describe().c_str());
 
-    const core::ServingRuntime cold_rt(ctx.zoo(), ctx.board(), {false});
-    const core::ServingRuntime warm_rt(ctx.zoo(), ctx.board(), {true});
+    core::ServingConfig cold_cfg;
+    cold_cfg.warm_start = false;
+    core::ServingConfig warm_cfg;
+    warm_cfg.warm_start = true;
+    const core::ServingRuntime cold_rt(ctx.zoo(), ctx.board(), cold_cfg);
+    const core::ServingRuntime warm_rt(ctx.zoo(), ctx.board(), warm_cfg);
 
     util::Table t({"scheduler", "decisions", "mean T inf/s", "mean churn %",
                    "incr decision s", "total decision s", "evals",

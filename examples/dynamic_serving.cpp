@@ -57,7 +57,9 @@ int main() {
 
   for (const bool warm : {false, true}) {
     core::OmniBoostScheduler omni(zoo, embedding, estimator, cfg);
-    const core::ServingRuntime runtime(zoo, board, {warm});
+    core::ServingConfig serving;
+    serving.warm_start = warm;
+    const core::ServingRuntime runtime(zoo, board, serving);
     const core::ServingReport report = runtime.run(omni, day);
 
     std::printf("--- %s rescheduling ---\n", warm ? "warm-started" : "cold");

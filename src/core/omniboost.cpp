@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/des.hpp"
+#include "sim/migration.hpp"
 #include "util/require.hpp"
 
 namespace omniboost::core {
@@ -163,15 +165,90 @@ ScheduleResult OmniBoostScheduler::reschedule(const workload::Workload& w,
       warm.prior.push_back(static_cast<std::int8_t>(c));
   }
 
-  // Memo carry-over: rewards are a pure function of (workload, mapping), so
-  // the memo is keyed by the mix signature and revived whenever the scenario
-  // returns to a mix it has scheduled before.
+  // SLO awareness: active only when the context names at least one SLO AND
+  // brings the board model to replay candidates on. Without both, the
+  // evaluator below is exactly the pre-SLO one — same closures, same rng
+  // consumption — so SLO-free serving stays bit-identical.
+  OB_REQUIRE(ctx.slo_s.empty() || ctx.slo_s.size() == w.size(),
+             "OmniBoostScheduler::reschedule: slo_s arity mismatch");
+  const bool slo_aware =
+      ctx.board != nullptr &&
+      std::any_of(ctx.slo_s.begin(), ctx.slo_s.end(),
+                  [](double s) { return s > 0.0; });
+
+  BatchMappingEvaluator evaluator = batch_evaluator(w, active_estimator());
+  if (slo_aware) {
+    OB_REQUIRE(config_.slo_shape > 0.0 && config_.slo_shape <= 1.0,
+               "OmniBoostScheduler: slo_shape must be in (0, 1]");
+    // Wrap the estimator evaluator: DES-replay each candidate and shape
+    // down / hard-prune SLO breakers. A stream that serves no frame inside
+    // the window counts as violating: "no sample" or "zero rate" means
+    // starved, not fast. Migration stalls enter the replay through the
+    // zero-rate rule only — a one-off stall cannot change per-frame latency
+    // (the stream is simply absent for the first window slice, see the DES
+    // start-delay contract), so a candidate whose own churn would starve an
+    // SLO stream for the whole window is rejected here, while cheaper
+    // stalls are priced by the runtime's measured T, not the SLO check.
+    evaluator = [base = std::move(evaluator), board = ctx.board,
+                 migration = ctx.migration, nets = w.resolve(*zoo_),
+                 slo = ctx.slo_s, previous, carried = ctx.carried_from,
+                 shape = config_.slo_shape, hard = config_.slo_hard_prune](
+                    const std::vector<sim::Mapping>& mappings) {
+      std::vector<double> rewards = base(mappings);
+      for (std::size_t i = 0; i < mappings.size(); ++i) {
+        std::vector<double> delays;
+        if (migration != nullptr && migration->enabled())
+          delays = migration->assess(nets, previous, carried, mappings[i])
+                       .stream_delay_s;
+        const sim::DesSimulator::TracedResult replay =
+            board->simulate_traced(nets, mappings[i], delays);
+        std::size_t violations = 0;
+        for (std::size_t d = 0; d < slo.size(); ++d) {
+          // sim::breaks_slo is the SAME predicate the serving runtime
+          // counts violations with — the search must never optimize a
+          // different definition of "violating" than the one it is
+          // measured against.
+          if (sim::breaks_slo(replay.report, replay.trace, d, slo[d]))
+            ++violations;
+        }
+        if (violations == 0) continue;
+        if (hard) {
+          // Demote below every SLO-clean candidate regardless of the
+          // estimator's reward sign; more violations sink deeper, which
+          // keeps the ranking meaningful when every candidate violates.
+          // The unit is sized to dominate the estimator's flow-scale
+          // rewards (O(1e2) at most) WITHOUT exploding the search's
+          // min-max-normalized reward range — a huge offset would collapse
+          // all clean candidates' exploit terms to one point and degrade
+          // the tree policy to exploration-only.
+          rewards[i] =
+              std::min(rewards[i], 0.0) - 1e4 * static_cast<double>(violations);
+        } else {
+          // Symmetric shaping so the demotion works in both reward-sign
+          // regimes: shrink positive rewards toward zero, push negative
+          // ones further down (dividing by shape < 1 grows the magnitude).
+          const double factor = std::pow(shape, static_cast<double>(violations));
+          rewards[i] = rewards[i] > 0.0 ? rewards[i] * factor
+                                        : rewards[i] / factor;
+        }
+      }
+      return rewards;
+    };
+  }
+
+  // Memo carry-over: estimator rewards are a pure function of
+  // (workload, mapping), so the memo is keyed by the mix signature and
+  // revived whenever the scenario returns to a mix it has scheduled before.
+  // SLO-shaped rewards additionally depend on the previous mapping and the
+  // epoch's SLOs, so SLO-aware decisions bypass the carried memos entirely
+  // (private per-decision memo) rather than poison them.
   std::string signature;
   for (const models::ModelId id : w.mix) {
     signature += std::to_string(models::model_index(id));
     signature += ',';
   }
-  if (config_.cache) {
+  const bool carry_memo = config_.cache && !slo_aware;
+  if (carry_memo) {
     CarriedMemo& carried = carried_memos_[signature];
     carried.last_used = ++memo_clock_;
     warm.memo = &carried.memo;
@@ -180,10 +257,10 @@ ScheduleResult OmniBoostScheduler::reschedule(const workload::Workload& w,
   // Single tree on purpose: the incremental budget is already small, and
   // root-parallel trees cannot share the carried memo (the private-memo
   // rule of the parallel search).
-  Mcts search(counts, batch_evaluator(w, active_estimator()), mcts);
+  Mcts search(counts, std::move(evaluator), mcts);
   search.set_warm_start(std::move(warm));
   const MctsResult r = search.search();
-  if (config_.cache) evict_carried_memos(signature);
+  if (carry_memo) evict_carried_memos(signature);
 
   ScheduleResult out;
   out.mapping = r.best_mapping;

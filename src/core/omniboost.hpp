@@ -65,6 +65,22 @@ struct OmniBoostConfig {
   /// are dropped (the current mix is always kept). Dropping a memo costs
   /// re-evaluation only, never correctness. 0 = unbounded.
   std::size_t carried_memo_entries = 200'000;
+  /// SLO reward shaping in warm reschedule(): when the context carries
+  /// latency SLOs AND a board model, every candidate mapping is DES-replayed
+  /// (with the context's migration stalls applied, if any) and candidates
+  /// whose replayed p99 frame latency breaks a stream's SLO (shared rule:
+  /// sim::breaks_slo) are demoted by slo_shape once per violating stream —
+  /// positive rewards shrink toward zero, negative ones are pushed further
+  /// down, so the ordering holds in both reward-sign regimes. Violators
+  /// stay comparable (a heavily-violating mapping may beat nothing), just
+  /// dominated by any SLO-clean candidate of similar quality.
+  double slo_shape = 0.25;
+  /// Hard-prune variant of the knob above: violating candidates are demoted
+  /// by a constant reward offset per violating stream — far below any
+  /// SLO-clean candidate whatever the estimator's reward sign — so they can
+  /// never outrank a clean one. The search still returns SOME mapping when
+  /// every candidate violates (least-violating, estimator-best among ties).
+  bool slo_hard_prune = false;
 };
 
 /// Production scheduler: estimator-guided Monte Carlo Tree Search.
@@ -90,6 +106,18 @@ class OmniBoostScheduler final : public IScheduler {
   /// single search tree regardless of OmniBoostConfig::workers — splitting
   /// an already-shrunken budget over root-parallel trees starves each one.
   /// With ctx.warm_start == false this is exactly schedule(w).
+  ///
+  /// SLO/churn awareness: when ctx.slo_s names at least one SLO and
+  /// ctx.board is set, rewards are shaped by a DES replay of each candidate
+  /// (OmniBoostConfig::slo_shape / slo_hard_prune), with ctx.migration's
+  /// per-candidate stalls applied — they reject candidates whose own churn
+  /// would starve an SLO stream for the whole window (cheaper stalls price
+  /// into the runtime's measured T, not latency). Shaped rewards
+  /// depend on (previous mapping, SLOs) — not only on (mix, mapping) — so
+  /// the per-mix carried memo is bypassed for such decisions and a private
+  /// memo is used instead; the carried memos are neither read nor written.
+  /// With no SLOs in the context this path is bit-identical to the pre-SLO
+  /// reschedule (pinned by tests/serving_test.cpp).
   ScheduleResult reschedule(const workload::Workload& w,
                             const sim::Mapping& previous,
                             const ScheduleContext& ctx) override;

@@ -19,6 +19,11 @@
 #include "sim/mapping.hpp"
 #include "workload/workload.hpp"
 
+namespace omniboost::sim {
+class DesSimulator;
+class MigrationCostModel;
+}  // namespace omniboost::sim
+
 namespace omniboost::core {
 
 /// Outcome of one scheduling decision.
@@ -55,6 +60,24 @@ struct ScheduleContext {
   /// must behave exactly like schedule(). The serving runtime sets this
   /// from ServingConfig::warm_start so cold/warm comparisons share one path.
   bool warm_start = true;
+  /// Per-stream latency SLOs (seconds), aligned with the NEW workload; 0 =
+  /// no SLO for that stream, and an empty vector = no stream has one. SLO-
+  /// aware schedulers (OmniBoost's warm search) shape down or hard-prune
+  /// candidate mappings whose DES replay breaks any of these.
+  std::vector<double> slo_s;
+  /// Board model for SLO replays. Null = SLO shaping unavailable: schedulers
+  /// MUST then ignore slo_s rather than guess latencies. The serving runtime
+  /// always passes its simulator; hand-built contexts may leave it null to
+  /// keep the decision bit-identical to the SLO-free path.
+  const sim::DesSimulator* board = nullptr;
+  /// Churn-cost model the serving runtime measures epochs with (null or
+  /// disabled = migrations are free). SLO-aware schedulers fold the same
+  /// per-candidate migration stalls into their replays; a one-off stall
+  /// cannot change per-frame latency, so it affects the SLO check only
+  /// through starvation (a candidate whose own churn would leave an SLO
+  /// stream serving zero frames in the window counts as violating) — the
+  /// sub-starvation price of churn lands in the runtime's measured T.
+  const sim::MigrationCostModel* migration = nullptr;
 };
 
 /// A run-time multi-DNN workload manager.

@@ -37,7 +37,10 @@ double mapping_churn(const sim::Mapping& previous,
 ServingRuntime::ServingRuntime(const models::ModelZoo& zoo,
                                const sim::DesSimulator& board,
                                ServingConfig config)
-    : zoo_(&zoo), board_(&board), config_(config) {}
+    : zoo_(&zoo),
+      board_(&board),
+      config_(config),
+      migration_(board.device(), config.migration) {}
 
 ServingReport ServingRuntime::run(IScheduler& scheduler,
                                   const workload::Scenario& scenario) const {
@@ -46,8 +49,10 @@ ServingReport ServingRuntime::run(IScheduler& scheduler,
   ServingReport report;
   report.epochs.reserve(scenario.size());
 
-  // Serving state: the mix currently on the board and its mapping.
+  // Serving state: the mix currently on the board (with each stream's SLO,
+  // index-aligned) and its mapping.
   std::vector<models::ModelId> present;
+  std::vector<double> present_slo_s;
   workload::Workload prev_w;
   sim::Mapping prev_mapping;
   bool have_prev = false;
@@ -67,10 +72,15 @@ ServingReport ServingRuntime::run(IScheduler& scheduler,
         std::string(models::model_name(e.model));
 
     // Apply the event (Scenario construction already validated legality).
+    // The SLO arrives with the stream and leaves with it — a later
+    // re-arrival without an `slo` clause serves unconstrained.
     if (e.kind == workload::ScenarioEventKind::kArrive) {
       present.push_back(e.model);
+      present_slo_s.push_back(e.slo_ms / 1e3);
     } else {
-      present.erase(std::find(present.begin(), present.end(), e.model));
+      const auto it = std::find(present.begin(), present.end(), e.model);
+      present_slo_s.erase(present_slo_s.begin() + (it - present.begin()));
+      present.erase(it);
     }
 
     if (present.empty()) {
@@ -85,12 +95,16 @@ ServingReport ServingRuntime::run(IScheduler& scheduler,
     ep.mix = w.describe();
     ep.mix_size = w.size();
 
+    std::vector<std::ptrdiff_t> carried_from;
     if (!have_prev) {
       ep.decision = scheduler.schedule(w);
     } else {
       ScheduleContext ctx;
       ctx.previous_workload = prev_w;
       ctx.warm_start = config_.warm_start;
+      ctx.slo_s = present_slo_s;
+      ctx.board = board_;
+      ctx.migration = &migration_;
       ctx.carried_from.reserve(w.size());
       for (const models::ModelId id : w.mix) {
         const auto it =
@@ -103,6 +117,7 @@ ServingReport ServingRuntime::run(IScheduler& scheduler,
       ep.churn = mapping_churn(prev_mapping, ctx.carried_from,
                                ep.decision.mapping, &ep.surviving_layers,
                                &ep.moved_layers);
+      carried_from = std::move(ctx.carried_from);
       ++incremental;
       incremental_seconds += ep.decision.decision_seconds;
       if (ep.surviving_layers > 0) {
@@ -111,11 +126,53 @@ ServingReport ServingRuntime::run(IScheduler& scheduler,
       }
     }
 
-    // "Execute" the decision: steady-state measurement on the board.
-    const sim::ThroughputReport measured =
-        board_->simulate(w.resolve(*zoo_), ep.decision.mapping);
-    ep.feasible = measured.feasible;
-    ep.measured_throughput = measured.avg_throughput;
+    // "Execute" the decision: steady-state measurement on the board. With
+    // the churn-cost model enabled, incremental epochs charge each surviving
+    // stream its one-off migration stall (delayed DES start); first and
+    // post-idle decisions load weights from scratch no matter who decided,
+    // so they are never charged.
+    const sim::NetworkList nets = w.resolve(*zoo_);
+    std::vector<double> start_delay_s;
+    if (have_prev && migration_.enabled()) {
+      const sim::MigrationStats mig = migration_.assess(
+          nets, prev_mapping, carried_from, ep.decision.mapping);
+      ep.migrated_segments = mig.migrated_segments;
+      ep.migration_weight_bytes = mig.moved_weight_bytes;
+      ep.migration_stall_s = mig.total_delay_s;
+      start_delay_s = mig.stream_delay_s;
+      report.total_migrated_segments += mig.migrated_segments;
+      report.total_migration_stall_s += mig.total_delay_s;
+    }
+
+    ep.slo_streams = static_cast<std::size_t>(
+        std::count_if(present_slo_s.begin(), present_slo_s.end(),
+                      [](double s) { return s > 0.0; }));
+    if (ep.slo_streams > 0) {
+      // SLO epochs measure through the traced simulator (identical
+      // throughput accounting; adds per-stream latency distributions).
+      const sim::DesSimulator::TracedResult traced =
+          board_->simulate_traced(nets, ep.decision.mapping, start_delay_s);
+      ep.feasible = traced.report.feasible;
+      ep.measured_throughput = traced.report.avg_throughput;
+      ep.slo_s = present_slo_s;
+      ep.latency_p99_s.reserve(w.size());
+      for (const sim::LatencyStats& ls : traced.trace.per_dnn_latency)
+        ep.latency_p99_s.push_back(ls.p99);
+      // sim::breaks_slo is the shared rule (starvation counts; see its
+      // header comment) — the SLO-aware search uses the identical one.
+      for (std::size_t d = 0; d < w.size(); ++d) {
+        if (sim::breaks_slo(traced.report, traced.trace, d,
+                            present_slo_s[d]))
+          ++ep.slo_violations;
+      }
+      report.total_slo_streams += ep.slo_streams;
+      report.total_slo_violations += ep.slo_violations;
+    } else {
+      const sim::ThroughputReport measured =
+          board_->simulate(nets, ep.decision.mapping, start_delay_s);
+      ep.feasible = measured.feasible;
+      ep.measured_throughput = measured.avg_throughput;
+    }
 
     ++report.decisions;
     report.total_decision_seconds += ep.decision.decision_seconds;

@@ -15,6 +15,7 @@
 
 #include "core/scheduler.hpp"
 #include "sim/des.hpp"
+#include "sim/migration.hpp"
 #include "workload/scenario.hpp"
 
 namespace omniboost::core {
@@ -26,6 +27,13 @@ struct ServingConfig {
   /// comparison baseline), true lets warm-started schedulers shrink their
   /// budget and seed from the previous mapping.
   bool warm_start = true;
+  /// Churn-cost model (sim/migration.hpp). When enabled, every incremental
+  /// epoch's measurement charges each surviving stream its one-off
+  /// migration stall (delayed DES start), and the same model is handed to
+  /// the scheduler through ScheduleContext::migration so SLO replays see
+  /// identical stalls. Disabled by default: measurements are bit-identical
+  /// to the free-churn runtime (pinned by tests/serving_test.cpp).
+  sim::MigrationCostConfig migration;
 };
 
 /// One epoch = the serving interval that follows one scenario event.
@@ -45,6 +53,21 @@ struct EpochReport {
   std::size_t surviving_layers = 0;
   std::size_t moved_layers = 0;
   double churn = 0.0;
+  /// Latency-SLO accounting. slo_s holds the per-stream SLOs in effect
+  /// (seconds, 0 = none, aligned with the epoch's mix); latency_p99_s the
+  /// measured p99 frame latency per stream. Both are populated only when at
+  /// least one stream of the epoch carries an SLO (slo_streams > 0) — the
+  /// SLO-free path never runs the traced simulator.
+  std::vector<double> slo_s;
+  std::vector<double> latency_p99_s;
+  std::size_t slo_streams = 0;     ///< streams with an SLO this epoch
+  std::size_t slo_violations = 0;  ///< of those, streams that broke it
+  /// Migration-stall accounting (all zeros when ServingConfig::migration is
+  /// disabled, when nothing moved, or on cold-start epochs): the one-off
+  /// cost charged to this epoch's measurement.
+  std::size_t migrated_segments = 0;
+  double migration_weight_bytes = 0.0;
+  double migration_stall_s = 0.0;  ///< summed over streams
 };
 
 /// The whole serving session, plus the aggregates the benches compare.
@@ -60,6 +83,15 @@ struct ServingReport {
   double mean_churn = 0.0;            ///< over epochs with surviving layers
   std::size_t total_evaluations = 0;
   std::size_t total_cache_hits = 0;
+  /// SLO bookkeeping, in stream-epochs: a stream serving under an SLO for
+  /// three epochs contributes three to total_slo_streams (and up to three
+  /// violations). 0/0 when the scenario carries no SLOs.
+  std::size_t total_slo_streams = 0;
+  std::size_t total_slo_violations = 0;
+  /// Aggregate one-off migration cost charged across the session (zero with
+  /// the churn-cost model disabled).
+  std::size_t total_migrated_segments = 0;
+  double total_migration_stall_s = 0.0;
 };
 
 /// Layer-level stability of a mix change: compares, for every surviving
@@ -92,11 +124,15 @@ class ServingRuntime {
                     const workload::Scenario& scenario) const;
 
   const ServingConfig& config() const { return config_; }
+  /// The churn-cost model built from ServingConfig::migration (exposed for
+  /// tests and drivers that want to pre-assess a transition).
+  const sim::MigrationCostModel& migration_model() const { return migration_; }
 
  private:
   const models::ModelZoo* zoo_;
   const sim::DesSimulator* board_;
   ServingConfig config_;
+  sim::MigrationCostModel migration_;
 };
 
 }  // namespace omniboost::core

@@ -1,6 +1,7 @@
 #include "sim/des.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "util/require.hpp"
@@ -86,24 +87,49 @@ void finalize_report(ThroughputReport& report, const Scene& scene,
 
 ThroughputReport DesSimulator::simulate(const NetworkList& nets,
                                         const Mapping& mapping) const {
-  return run(nets, mapping, nullptr, false);
+  return run(nets, mapping, nullptr, nullptr, false);
+}
+
+ThroughputReport DesSimulator::simulate(
+    const NetworkList& nets, const Mapping& mapping,
+    const std::vector<double>& start_delay_s) const {
+  return run(nets, mapping, start_delay_s.empty() ? nullptr : &start_delay_s,
+             nullptr, false);
 }
 
 DesSimulator::TracedResult DesSimulator::simulate_traced(
     const NetworkList& nets, const Mapping& mapping,
     bool record_events) const {
   TracedResult out;
-  out.report = run(nets, mapping, &out.trace, record_events);
+  out.report = run(nets, mapping, nullptr, &out.trace, record_events);
+  return out;
+}
+
+DesSimulator::TracedResult DesSimulator::simulate_traced(
+    const NetworkList& nets, const Mapping& mapping,
+    const std::vector<double>& start_delay_s, bool record_events) const {
+  TracedResult out;
+  out.report = run(nets, mapping,
+                   start_delay_s.empty() ? nullptr : &start_delay_s,
+                   &out.trace, record_events);
   return out;
 }
 
 ThroughputReport DesSimulator::run(const NetworkList& nets,
                                    const Mapping& mapping,
+                                   const std::vector<double>* start_delay_s,
                                    ExecutionTrace* trace,
                                    bool record_events) const {
   OB_REQUIRE(!nets.empty(), "DesSimulator::simulate: empty workload");
   for (const auto* n : nets)
     OB_REQUIRE(n != nullptr, "DesSimulator::simulate: null network");
+  if (start_delay_s != nullptr) {
+    OB_REQUIRE(start_delay_s->size() == nets.size(),
+               "DesSimulator::simulate: start delay arity mismatch");
+    for (const double d : *start_delay_s)
+      OB_REQUIRE(d >= 0.0 && std::isfinite(d),
+                 "DesSimulator::simulate: start delays must be finite, >= 0");
+  }
 
   const Scene scene = build_scene(nets, mapping, cost_);
   ThroughputReport report;
@@ -247,9 +273,23 @@ ThroughputReport DesSimulator::run(const NetworkList& nets,
     for (auto& v : latencies)
       trace->per_dnn_latency.push_back(LatencyStats::from_samples(std::move(v)));
   }
-  for (std::size_t i = 0; i < nets.size(); ++i)
+  for (std::size_t i = 0; i < nets.size(); ++i) {
     report.per_dnn_rate[i] =
         static_cast<double>(completions[i]) / window;
+    // One-off start stall (migration cost): the stream is absent for the
+    // first start_delay_s[i] of the measurement window, so its measured
+    // completions scale by the fraction of the window it actually served.
+    // Charged AGAINST the steady-state rate rather than by perturbing the
+    // event loop: shifting injection phase would interact chaotically with
+    // queueing (it can even raise the synchronized-window T) and a stall
+    // shorter than the warm-up would silently vanish. This form is
+    // deterministic, strictly monotone in the delay, and zero-delay is
+    // bit-identical to the undelayed run.
+    if (start_delay_s != nullptr) {
+      const double lost = std::min((*start_delay_s)[i], window);
+      report.per_dnn_rate[i] *= (window - lost) / window;
+    }
+  }
 
   finalize_report(report, scene, nets, cost_.device());
   return report;

@@ -45,6 +45,21 @@ class DesSimulator {
   ThroughputReport simulate(const NetworkList& nets,
                             const Mapping& mapping) const;
 
+  /// Like simulate(), but charges stream i a one-off start stall of
+  /// start_delay_s[i] seconds — the hook the churn-cost model
+  /// (sim/migration.hpp) uses for migration costs. The stall is charged
+  /// against the steady-state measurement (the stream is treated as absent
+  /// for that first slice of the unchanged measurement window, scaling its
+  /// measured rate by the present fraction), NOT by shifting injections in
+  /// the event loop: a phase shift would interact chaotically with queueing
+  /// and a stall shorter than the warm-up would vanish. Strictly monotone:
+  /// a delay can only lower rates, a delay >= the window starves the stream
+  /// to zero, and an empty vector (or all zeros) is bit-identical to plain
+  /// simulate(). Latency statistics are untouched — a one-off stall is not
+  /// per-frame latency.
+  ThroughputReport simulate(const NetworkList& nets, const Mapping& mapping,
+                            const std::vector<double>& start_delay_s) const;
+
   /// Throughput measurement plus full observability record.
   struct TracedResult {
     ThroughputReport report;
@@ -57,6 +72,11 @@ class DesSimulator {
   /// \param record_events  also keep every segment execution interval
   ///                       (memory-heavy; for debugging and Gantt rendering)
   TracedResult simulate_traced(const NetworkList& nets, const Mapping& mapping,
+                               bool record_events = false) const;
+
+  /// Traced form with per-stream start delays (see the simulate() overload).
+  TracedResult simulate_traced(const NetworkList& nets, const Mapping& mapping,
+                               const std::vector<double>& start_delay_s,
                                bool record_events = false) const;
 
   const device::DeviceSpec& device() const { return cost_.device(); }
@@ -73,8 +93,10 @@ class DesSimulator {
   }
 
  private:
-  /// Shared event loop; \p trace may be null (plain measurement).
+  /// Shared event loop; \p trace may be null (plain measurement) and
+  /// \p start_delay_s may be null (all streams start at t = 0).
   ThroughputReport run(const NetworkList& nets, const Mapping& mapping,
+                       const std::vector<double>* start_delay_s,
                        ExecutionTrace* trace, bool record_events) const;
 
   device::DeviceSpec device_;  ///< owned copy; cost_ points into it

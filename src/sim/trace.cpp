@@ -34,4 +34,12 @@ LatencyStats LatencyStats::from_samples(std::vector<double> values) {
   return s;
 }
 
+bool breaks_slo(const ThroughputReport& report, const ExecutionTrace& trace,
+                std::size_t dnn, double slo_s) {
+  if (slo_s <= 0.0) return false;
+  const LatencyStats& ls = trace.per_dnn_latency[dnn];
+  return !report.feasible || ls.samples == 0 ||
+         report.per_dnn_rate[dnn] <= 0.0 || ls.p99 > slo_s;
+}
+
 }  // namespace omniboost::sim

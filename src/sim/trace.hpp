@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "device/device.hpp"
+#include "sim/report.hpp"
 
 namespace omniboost::sim {
 
@@ -61,5 +62,17 @@ struct ExecutionTrace {
   double warmup_seconds = 0.0;
   double horizon_seconds = 0.0;
 };
+
+/// THE latency-SLO violation rule, shared by the serving runtime's
+/// bookkeeping and OmniBoost's SLO-aware reward shaping so the search can
+/// never optimize a different definition of "violating" than the one the
+/// report counts against it. Stream \p dnn of a traced measurement breaks
+/// \p slo_s (seconds; <= 0 = no SLO, never violated) when the run is
+/// infeasible, the stream served no frame inside the window (no latency
+/// samples, or a migration stall scaled its measured rate to zero — a
+/// one-off stall cannot change per-frame latency, so starvation is how it
+/// reaches this check), or its p99 frame latency exceeds the target.
+bool breaks_slo(const ThroughputReport& report, const ExecutionTrace& trace,
+                std::size_t dnn, double slo_s);
 
 }  // namespace omniboost::sim

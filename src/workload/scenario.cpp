@@ -13,10 +13,15 @@ namespace omniboost::workload {
 namespace {
 
 /// Replays events [0, upto) and returns the present models in arrival
-/// order, validating the scenario invariants along the way.
+/// order, validating the scenario invariants along the way. When
+/// \p slos_out is non-null it is filled with the per-stream SLOs (seconds,
+/// 0 = none) each present stream arrived with, index-aligned with the
+/// returned mix.
 std::vector<models::ModelId> replay(const std::vector<ScenarioEvent>& events,
-                                    std::size_t upto) {
+                                    std::size_t upto,
+                                    std::vector<double>* slos_out = nullptr) {
   std::vector<models::ModelId> present;
+  std::vector<double> slos;
   double prev_time = 0.0;
   for (std::size_t i = 0; i < upto; ++i) {
     const ScenarioEvent& e = events[i];
@@ -24,6 +29,8 @@ std::vector<models::ModelId> replay(const std::vector<ScenarioEvent>& events,
       throw std::invalid_argument("Scenario: negative or NaN event time");
     if (i > 0 && e.time_s < prev_time)
       throw std::invalid_argument("Scenario: event times must be non-decreasing");
+    if (!(e.slo_ms >= 0.0) || !std::isfinite(e.slo_ms))
+      throw std::invalid_argument("Scenario: SLO must be finite and >= 0 ms");
     prev_time = e.time_s;
     const auto it = std::find(present.begin(), present.end(), e.model);
     if (e.kind == ScenarioEventKind::kArrive) {
@@ -32,14 +39,21 @@ std::vector<models::ModelId> replay(const std::vector<ScenarioEvent>& events,
             "Scenario: model '" + std::string(models::model_name(e.model)) +
             "' arrives while already present");
       present.push_back(e.model);
+      slos.push_back(e.slo_ms / 1e3);
     } else {
+      if (e.slo_ms != 0.0)
+        throw std::invalid_argument(
+            "Scenario: departures cannot carry an SLO (model '" +
+            std::string(models::model_name(e.model)) + "')");
       if (it == present.end())
         throw std::invalid_argument(
             "Scenario: model '" + std::string(models::model_name(e.model)) +
             "' departs while absent");
+      slos.erase(slos.begin() + (it - present.begin()));
       present.erase(it);
     }
   }
+  if (slos_out != nullptr) *slos_out = std::move(slos);
   return present;
 }
 
@@ -54,6 +68,19 @@ Workload Scenario::mix_after(std::size_t event_index) const {
   OB_REQUIRE(event_index < events_.size(),
              "Scenario::mix_after: event index out of range");
   return Workload{replay(events_, event_index + 1)};
+}
+
+std::vector<double> Scenario::slo_after(std::size_t event_index) const {
+  OB_REQUIRE(event_index < events_.size(),
+             "Scenario::slo_after: event index out of range");
+  std::vector<double> slos;
+  replay(events_, event_index + 1, &slos);
+  return slos;
+}
+
+bool Scenario::has_slos() const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [](const ScenarioEvent& e) { return e.slo_ms > 0.0; });
 }
 
 std::size_t Scenario::peak_concurrency() const {
@@ -89,6 +116,14 @@ Scenario random_scenario(util::Rng& rng, const ScenarioConfig& config) {
              "random_scenario: with min_concurrent == max_concurrent the mix "
              "freezes once full — request at most max_concurrent events or "
              "widen the band");
+  OB_REQUIRE(config.slo_fraction >= 0.0 && config.slo_fraction <= 1.0,
+             "random_scenario: slo_fraction must be a probability");
+  OB_REQUIRE(config.slo_fraction == 0.0 ||
+                 (config.slo_min_ms > 0.0 &&
+                  config.slo_min_ms <= config.slo_max_ms &&
+                  std::isfinite(config.slo_max_ms)),
+             "random_scenario: SLO band must satisfy 0 < slo_min_ms <= "
+             "slo_max_ms");
 
   std::vector<ScenarioEvent> events;
   events.reserve(config.events);
@@ -119,6 +154,10 @@ Scenario random_scenario(util::Rng& rng, const ScenarioConfig& config) {
       e.model = absent[pick];
       present.push_back(e.model);
       absent.erase(absent.begin() + static_cast<std::ptrdiff_t>(pick));
+      // SLO band draw, guarded so slo_fraction == 0 consumes NO Rng values
+      // and the pre-SLO draw sequence stays bit-identical.
+      if (config.slo_fraction > 0.0 && rng.chance(config.slo_fraction))
+        e.slo_ms = rng.uniform(config.slo_min_ms, config.slo_max_ms);
     }
     events.push_back(e);
     // Exponential gap to the next event (inverse-CDF; uniform() < 1 always).
@@ -136,6 +175,11 @@ std::string serialize_scenario(const Scenario& scenario) {
     out += buf;
     out += e.kind == ScenarioEventKind::kArrive ? " arrive " : " depart ";
     out += std::string(models::model_name(e.model));
+    if (e.slo_ms > 0.0) {
+      std::snprintf(buf, sizeof(buf), "%.17g", e.slo_ms);
+      out += " slo ";
+      out += buf;
+    }
     out += '\n';
   }
   return out;
@@ -167,7 +211,14 @@ Scenario parse_scenario(std::istream& in) {
       fail("unknown event kind '" + kind + "'");
     if (!models::parse_model_name(model, e.model))
       fail("unknown model '" + model + "'");
-    if (ls >> word && word[0] != '#') fail("trailing tokens after model name");
+    if (ls >> word && word[0] != '#') {
+      if (word != "slo") fail("trailing tokens after model name");
+      if (e.kind != ScenarioEventKind::kArrive)
+        fail("'slo' is only legal on arrive events");
+      if (!(ls >> e.slo_ms) || !(e.slo_ms > 0.0) || !std::isfinite(e.slo_ms))
+        fail("'slo' needs a finite value > 0 (milliseconds)");
+      if (ls >> word && word[0] != '#') fail("trailing tokens after SLO");
+    }
     events.push_back(e);
   }
   return Scenario(std::move(events));

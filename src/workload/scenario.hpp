@@ -12,9 +12,14 @@
 /// serialize_scenario/parse_scenario:
 ///
 ///     # omniboost scenario trace v1
-///     at 0 arrive VGG-19
+///     at 0 arrive VGG-19 slo 120
 ///     at 2.5 arrive AlexNet
 ///     at 7.25 depart VGG-19
+///
+/// An arrival may carry a per-stream latency SLO (`slo <ms>`): the stream's
+/// end-to-end frame latency target while it is on the board. SLOs are
+/// optional — events without the clause serialize exactly as before, so
+/// pre-SLO traces round-trip bit-identically.
 
 #include <iosfwd>
 #include <string>
@@ -34,9 +39,14 @@ struct ScenarioEvent {
   double time_s = 0.0;  ///< event timestamp (seconds since scenario start)
   ScenarioEventKind kind = ScenarioEventKind::kArrive;
   models::ModelId model = models::ModelId::kAlexNet;
+  /// Latency SLO of the arriving stream in milliseconds; 0 = none. The SLO
+  /// stays attached to the stream until it departs. Departures never carry
+  /// one (enforced at construction).
+  double slo_ms = 0.0;
 
   bool operator==(const ScenarioEvent& rhs) const {
-    return time_s == rhs.time_s && kind == rhs.kind && model == rhs.model;
+    return time_s == rhs.time_s && kind == rhs.kind && model == rhs.model &&
+           slo_ms == rhs.slo_ms;
   }
   bool operator!=(const ScenarioEvent& rhs) const { return !(*this == rhs); }
 };
@@ -62,6 +72,15 @@ class Scenario {
   /// (arrival order preserved; departures close ranks).
   Workload mix_after(std::size_t event_index) const;
 
+  /// Per-stream latency SLOs (seconds, 0 = none) aligned with
+  /// mix_after(event_index): entry d is the SLO the d-th present stream
+  /// arrived with. This is what core::ServingRuntime hands the scheduler
+  /// through ScheduleContext::slo_s.
+  std::vector<double> slo_after(std::size_t event_index) const;
+
+  /// True when any arrival carries a latency SLO.
+  bool has_slos() const;
+
   /// Largest concurrent mix size reached over the scenario.
   std::size_t peak_concurrency() const;
 
@@ -85,6 +104,13 @@ struct ScenarioConfig {
   double depart_bias = 0.4;
   /// Mean of the exponential inter-event gap (the first event fires at 0).
   double mean_interarrival_s = 5.0;
+  /// Latency-SLO band: each arrival carries an SLO with probability
+  /// slo_fraction, drawn uniformly from [slo_min_ms, slo_max_ms]. The
+  /// default 0 draws nothing from the Rng, so pre-SLO configs reproduce
+  /// their scenarios bit-for-bit (pinned by tests/scenario_test.cpp).
+  double slo_fraction = 0.0;
+  double slo_min_ms = 50.0;
+  double slo_max_ms = 500.0;
 };
 
 /// Draws a random scenario from \p rng. The draw sequence depends only on
@@ -93,13 +119,17 @@ struct ScenarioConfig {
 /// The first event is always an arrival at t = 0.
 Scenario random_scenario(util::Rng& rng, const ScenarioConfig& config = {});
 
-/// Writes the text trace form shown in the file header. Timestamps are
-/// printed with "%.17g" so parse_scenario round-trips them bit-exactly.
+/// Writes the text trace form shown in the file header. Timestamps (and SLO
+/// values) are printed with "%.17g" so parse_scenario round-trips them
+/// bit-exactly; events without an SLO omit the `slo` clause entirely, so
+/// pre-SLO scenarios serialize byte-identically to the v1 format.
 std::string serialize_scenario(const Scenario& scenario);
 
-/// Parses the text trace format: one `at <time> <arrive|depart> <model>`
-/// statement per line; blank lines and `#` comments are ignored. Model names
-/// go through models::parse_model_name (case-insensitive, dash-tolerant).
+/// Parses the text trace format: one
+/// `at <time> <arrive|depart> <model> [slo <ms>]` statement per line; blank
+/// lines and `#` comments are ignored. Model names go through
+/// models::parse_model_name (case-insensitive, dash-tolerant). The `slo`
+/// clause is legal on arrivals only.
 /// Throws std::invalid_argument on malformed lines or invariant breaches.
 Scenario parse_scenario(std::istream& in);
 Scenario parse_scenario(const std::string& text);

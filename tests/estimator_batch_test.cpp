@@ -30,7 +30,11 @@ const ModelZoo& zoo() {
 }
 
 const core::EmbeddingTensor& embedding() {
-  static const device::CostModel cost(device::make_hikey970());
+  // CostModel keeps a pointer into the spec, so the spec must outlive it —
+  // a make_hikey970() temporary here is a stack-use-after-scope (caught by
+  // the ASan CI flavor).
+  static const device::DeviceSpec spec = device::make_hikey970();
+  static const device::CostModel cost(spec);
   static const core::EmbeddingTensor e(zoo(), cost);
   return e;
 }

@@ -116,8 +116,11 @@ TEST_P(ZooStructural, ClassifierHeadEmits1000Classes) {
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ZooStructural,
                          ::testing::ValuesIn(kAllModels),
-                         [](const auto& info) {
-                           std::string s(model_name(info.param));
+                         // Not `info`: the INSTANTIATE macro declares its own
+                         // `info` parameter in the enclosing scope, and the
+                         // shadow trips -Wshadow under OMNIBOOST_WERROR.
+                         [](const auto& param_info) {
+                           std::string s(model_name(param_info.param));
                            for (char& c : s)
                              if (c == '-') c = '_';
                            return s;

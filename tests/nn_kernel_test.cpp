@@ -171,7 +171,10 @@ class EstimatorKernelParity : public ::testing::Test {
     return z;
   }
   static const core::EmbeddingTensor& embedding() {
-    static const device::CostModel cost(device::make_hikey970());
+    // CostModel keeps a pointer into the spec: a temporary here would be a
+    // stack-use-after-scope (caught by the ASan CI flavor).
+    static const device::DeviceSpec spec = device::make_hikey970();
+    static const device::CostModel cost(spec);
     static const core::EmbeddingTensor e(zoo(), cost);
     return e;
   }

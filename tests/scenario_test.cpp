@@ -143,6 +143,119 @@ TEST(ScenarioValidation, RejectsIllegalEventSequences) {
                std::invalid_argument);
 }
 
+TEST(ScenarioTrace, SloClauseRoundTripsBitExactly) {
+  // Awkward mantissas on purpose: the %.17g contract must hold for SLO
+  // values exactly as it does for timestamps.
+  const Scenario s = workload::parse_scenario(
+      "at 0 arrive VGG-19 slo 123.45678901234567\n"
+      "at 1.5 arrive AlexNet\n"
+      "at 2.25 depart VGG-19\n"
+      "at 3 arrive MobileNet slo 80\n");
+  EXPECT_EQ(s.events()[0].slo_ms, 123.45678901234567);
+  EXPECT_EQ(s.events()[1].slo_ms, 0.0);
+  EXPECT_EQ(s.events()[3].slo_ms, 80.0);
+  const std::string trace = workload::serialize_scenario(s);
+  EXPECT_EQ(s, workload::parse_scenario(trace));
+  EXPECT_EQ(trace, workload::serialize_scenario(workload::parse_scenario(trace)));
+  // Events without an SLO serialize with no `slo` clause at all, keeping the
+  // pre-SLO v1 format byte-identical.
+  EXPECT_NE(trace.find("at 1.5 arrive AlexNet\n"), std::string::npos);
+}
+
+TEST(ScenarioTrace, RejectsMalformedSloClauses) {
+  // SLO on a departure.
+  EXPECT_THROW(workload::parse_scenario("at 0 arrive AlexNet\n"
+                                        "at 1 depart AlexNet slo 50\n"),
+               std::invalid_argument);
+  // Missing, non-positive, non-finite, or non-numeric values.
+  EXPECT_THROW(workload::parse_scenario("at 0 arrive AlexNet slo\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload::parse_scenario("at 0 arrive AlexNet slo 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload::parse_scenario("at 0 arrive AlexNet slo -5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload::parse_scenario("at 0 arrive AlexNet slo inf\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload::parse_scenario("at 0 arrive AlexNet slo fast\n"),
+               std::invalid_argument);
+  // Trailing garbage after the clause.
+  EXPECT_THROW(workload::parse_scenario("at 0 arrive AlexNet slo 50 x\n"),
+               std::invalid_argument);
+  // Constructor-level: a hand-built departure carrying an SLO.
+  ScenarioEvent depart{1.0, ScenarioEventKind::kDepart, ModelId::kAlexNet};
+  depart.slo_ms = 50.0;
+  EXPECT_THROW(
+      Scenario({ScenarioEvent{0.0, ScenarioEventKind::kArrive,
+                              ModelId::kAlexNet},
+                depart}),
+      std::invalid_argument);
+}
+
+TEST(ScenarioGenerator, DefaultConfigDrawSequenceIsPinned) {
+  // The pre-SLO bit-compat pin: with slo_fraction = 0 (the default) the
+  // generator must consume exactly the pre-SLO Rng draw sequence, so seeded
+  // sweeps (bench_serving_scenarios and friends) reproduce their scenarios
+  // byte-for-byte across this feature. Golden captured at the pre-SLO
+  // behaviour; if this fails, a draw was added to the default path.
+  util::Rng rng(util::fork_stream(2023, 1));
+  workload::ScenarioConfig cfg;
+  cfg.events = 6;
+  const Scenario s = workload::random_scenario(rng, cfg);
+  EXPECT_EQ(workload::serialize_scenario(s),
+            "# omniboost scenario trace v1\n"
+            "at 0 arrive VGG-13\n"
+            "at 1.6472420584204153 arrive SqueezeNet\n"
+            "at 5.2390537032880946 arrive Inception-v3\n"
+            "at 7.2395215464577687 arrive ResNet-34\n"
+            "at 8.9880335708869978 depart Inception-v3\n"
+            "at 9.4074704094598953 arrive ResNet-101\n");
+  EXPECT_FALSE(s.has_slos());
+}
+
+TEST(ScenarioGenerator, SloBandAttachesSlosToArrivalsOnly) {
+  workload::ScenarioConfig cfg;
+  cfg.events = 30;
+  cfg.max_concurrent = 5;
+  cfg.depart_bias = 0.5;
+  cfg.slo_fraction = 1.0;
+  cfg.slo_min_ms = 40.0;
+  cfg.slo_max_ms = 90.0;
+  util::Rng rng(11);
+  const Scenario s = workload::random_scenario(rng, cfg);
+  EXPECT_TRUE(s.has_slos());
+  for (const ScenarioEvent& e : s.events()) {
+    if (e.kind == ScenarioEventKind::kArrive) {
+      EXPECT_GE(e.slo_ms, cfg.slo_min_ms);
+      EXPECT_LT(e.slo_ms, cfg.slo_max_ms);
+    } else {
+      EXPECT_EQ(e.slo_ms, 0.0);
+    }
+  }
+  // Band validation: a zero/inverted band is rejected when draws are asked.
+  workload::ScenarioConfig bad = cfg;
+  bad.slo_min_ms = 100.0;
+  bad.slo_max_ms = 50.0;
+  util::Rng rng2(11);
+  EXPECT_THROW(workload::random_scenario(rng2, bad), std::invalid_argument);
+}
+
+TEST(ScenarioReplay, SloAfterTracksStreamsAndResetsOnReArrival) {
+  const Scenario s = workload::parse_scenario(
+      "at 0 arrive VGG-19 slo 200\n"
+      "at 1 arrive AlexNet slo 90\n"
+      "at 2 depart VGG-19\n"
+      "at 3 arrive VGG-19\n");  // re-arrival WITHOUT an SLO
+  ASSERT_EQ(s.slo_after(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(s.slo_after(1)[0], 0.200);  // seconds
+  EXPECT_DOUBLE_EQ(s.slo_after(1)[1], 0.090);
+  // After the departure only AlexNet's SLO remains, index-aligned with the
+  // mix; the re-arrived VGG-19 serves unconstrained (no stale SLO).
+  ASSERT_EQ(s.slo_after(3).size(), 2u);
+  EXPECT_EQ(s.mix_after(3).mix[1], ModelId::kVgg19);
+  EXPECT_DOUBLE_EQ(s.slo_after(3)[0], 0.090);
+  EXPECT_DOUBLE_EQ(s.slo_after(3)[1], 0.0);
+}
+
 TEST(ScenarioReplay, MixAfterTracksArrivalOrderAndDepartures) {
   const Scenario s = workload::parse_scenario(
       "at 0 arrive VGG-19\n"

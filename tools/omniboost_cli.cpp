@@ -17,6 +17,7 @@
 ///   omniboost_cli --mix alexnet --estimator-file est.bin --json
 ///   omniboost_cli serve --events 10 --estimator-file est.bin
 ///   omniboost_cli serve --scenario trace.txt --cold --json
+///   omniboost_cli serve --events 12 --slo 150 --migration-cost 1 --json
 
 #include <algorithm>
 #include <cstdio>
@@ -78,7 +79,8 @@ std::unique_ptr<core::IScheduler> make_scheduler(
     const device::DeviceSpec& device, const core::EmbeddingTensor& embedding,
     std::shared_ptr<const core::ThroughputEstimator> estimator,
     std::size_t budget, std::size_t depth, std::size_t batch,
-    std::uint64_t seed, double rollout_fraction = 0.4) {
+    std::uint64_t seed, double rollout_fraction = 0.4,
+    bool slo_hard_prune = false) {
   if (kind == "omniboost") {
     core::OmniBoostConfig cfg;
     cfg.mcts.budget = budget;
@@ -86,6 +88,7 @@ std::unique_ptr<core::IScheduler> make_scheduler(
     cfg.mcts.seed = seed;
     cfg.batch_size = batch;
     cfg.rollout_fraction = rollout_fraction;
+    cfg.slo_hard_prune = slo_hard_prune;
     return std::make_unique<core::OmniBoostScheduler>(zoo, embedding,
                                                       std::move(estimator),
                                                       cfg);
@@ -394,11 +397,24 @@ int run_serve(int argc, char** argv) {
       .option("save-scenario", "write the replayed scenario trace to this path")
       .option("rollout-fraction",
               "warm-started incremental budget as a fraction of --budget",
-              "0.4");
+              "0.4")
+      .option("slo",
+              "latency SLO in ms attached to every arriving stream that "
+              "lacks an explicit `slo` clause; 0 = off",
+              "0")
+      .option("migration-cost",
+              "churn-cost scale: charge each moved segment's weight "
+              "re-upload + warm-up as a one-off stall in the epoch "
+              "measurement (sim::MigrationCostModel); 0 = migrations are "
+              "free (the default)",
+              "0");
   declare_common_options(args);
   args.flag("cold",
             "disable warm-started rescheduling: every event gets a cold "
             "full-budget decision (the stability/latency baseline)")
+      .flag("slo-hard-prune",
+            "hard-prune SLO-breaking candidates in the warm search instead "
+            "of shaping their reward down")
       .flag("json", "emit a machine-readable JSON report");
   if (!args.parse(argc, argv)) return 0;
 
@@ -430,6 +446,20 @@ int run_serve(int argc, char** argv) {
     util::Rng rng(seed);
     scenario = workload::random_scenario(rng, sc);
   }
+  // --- Default SLO: fill in arrivals that do not already carry one, so a
+  // plain trace can be replayed under a uniform latency target.
+  const double default_slo_ms = args.get_double("slo");
+  if (default_slo_ms < 0.0)
+    throw std::invalid_argument("--slo must be >= 0 (milliseconds)");
+  if (default_slo_ms > 0.0) {
+    std::vector<workload::ScenarioEvent> events = scenario.events();
+    for (workload::ScenarioEvent& e : events) {
+      if (e.kind == workload::ScenarioEventKind::kArrive && e.slo_ms <= 0.0)
+        e.slo_ms = default_slo_ms;
+    }
+    scenario = workload::Scenario(std::move(events));
+  }
+
   if (args.has("save-scenario")) {
     workload::save_scenario_file(scenario, args.get("save-scenario"));
     if (!as_json)
@@ -455,11 +485,16 @@ int run_serve(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("budget")),
       static_cast<std::size_t>(args.get_int("depth")),
       static_cast<std::size_t>(args.get_int("batch")), seed,
-      args.get_double("rollout-fraction"));
+      args.get_double("rollout-fraction"), args.get_flag("slo-hard-prune"));
 
   // --- Serve.
+  const double migration_cost = args.get_double("migration-cost");
+  if (migration_cost < 0.0)
+    throw std::invalid_argument("--migration-cost must be >= 0");
   core::ServingConfig sc;
   sc.warm_start = warm;
+  sc.migration.enabled = migration_cost > 0.0;
+  sc.migration.scale = migration_cost > 0.0 ? migration_cost : 1.0;
   const core::ServingRuntime runtime(zoo, board, sc);
   const core::ServingReport report = runtime.run(*scheduler, scenario);
 
@@ -489,6 +524,22 @@ int run_serve(int argc, char** argv) {
       j.set("churn", util::Json::number(ep.churn));
       j.set("surviving_layers", util::Json::number(ep.surviving_layers));
       j.set("moved_layers", util::Json::number(ep.moved_layers));
+      j.set("slo_streams", util::Json::number(ep.slo_streams));
+      j.set("slo_violations", util::Json::number(ep.slo_violations));
+      if (ep.slo_streams > 0) {
+        util::Json slos = util::Json::array();
+        util::Json p99s = util::Json::array();
+        for (std::size_t d = 0; d < ep.slo_s.size(); ++d) {
+          slos.push_back(util::Json::number(ep.slo_s[d]));
+          p99s.push_back(util::Json::number(ep.latency_p99_s[d]));
+        }
+        j.set("slo_s", std::move(slos));
+        j.set("latency_p99_s", std::move(p99s));
+      }
+      j.set("migrated_segments", util::Json::number(ep.migrated_segments));
+      j.set("migration_stall_s", util::Json::number(ep.migration_stall_s));
+      j.set("migration_weight_bytes",
+            util::Json::number(ep.migration_weight_bytes));
       epochs.push_back(std::move(j));
     }
     out.set("epochs", std::move(epochs));
@@ -502,6 +553,13 @@ int run_serve(int argc, char** argv) {
     out.set("mean_churn", util::Json::number(report.mean_churn));
     out.set("total_evaluations", util::Json::number(report.total_evaluations));
     out.set("total_cache_hits", util::Json::number(report.total_cache_hits));
+    out.set("total_slo_streams", util::Json::number(report.total_slo_streams));
+    out.set("total_slo_violations",
+            util::Json::number(report.total_slo_violations));
+    out.set("total_migrated_segments",
+            util::Json::number(report.total_migrated_segments));
+    out.set("total_migration_stall_s",
+            util::Json::number(report.total_migration_stall_s));
     std::printf("%s\n", out.dump(2).c_str());
     return 0;
   }
@@ -510,7 +568,7 @@ int run_serve(int argc, char** argv) {
               scenario.describe().c_str(), scheduler->name().c_str(),
               warm ? "on" : "off");
   util::Table table({"t (s)", "event", "mix", "decision s", "evals", "hits",
-                     "T inf/s", "churn"});
+                     "T inf/s", "churn", "SLO", "stall ms"});
   for (const core::EpochReport& ep : report.epochs) {
     table.add_row(
         {util::fmt(ep.time_s, 2), ep.event, ep.mix,
@@ -519,7 +577,14 @@ int run_serve(int argc, char** argv) {
          std::to_string(ep.decision.cache_hits),
          ep.mix_size == 0 ? "-" : util::fmt(ep.measured_throughput, 2),
          ep.surviving_layers == 0 ? "-"
-                                  : util::fmt(100.0 * ep.churn, 1) + "%"});
+                                  : util::fmt(100.0 * ep.churn, 1) + "%",
+         // "violations/streams-under-SLO" for the epoch; "-" = none set.
+         ep.slo_streams == 0 ? "-"
+                             : std::to_string(ep.slo_violations) + "/" +
+                                   std::to_string(ep.slo_streams),
+         ep.migration_stall_s > 0.0
+             ? util::fmt(1e3 * ep.migration_stall_s, 1)
+             : "-"});
   }
   table.print(std::cout);
   std::printf("\n%zu decisions | mean T %.3f inf/s | mean incremental "
@@ -529,6 +594,13 @@ int run_serve(int argc, char** argv) {
               report.mean_incremental_decision_seconds,
               100.0 * report.mean_churn, report.total_evaluations,
               report.total_cache_hits);
+  if (report.total_slo_streams > 0)
+    std::printf("SLO: %zu violations over %zu stream-epochs under an SLO\n",
+                report.total_slo_violations, report.total_slo_streams);
+  if (runtime.migration_model().enabled())
+    std::printf("migration: %zu segments moved, %.1f ms total stall charged\n",
+                report.total_migrated_segments,
+                1e3 * report.total_migration_stall_s);
   return 0;
 }
 

@@ -9,7 +9,18 @@
 #                  with OMNIBOOST_BENCH_SMOKE=1 (tiny campaigns, shared
 #                  smoke-only estimator cache, JSON export into
 #                  <build>/bench-smoke/). Catches bench bit-rot in tier-1
-#                  instead of at the next real experiment run.
+#                  instead of at the next real experiment run. Every driver
+#                  runs even after a failure (all failures are reported at
+#                  once) and ANY failure fails the script; the emitted
+#                  BENCH_*.json set is then validated by
+#                  tools/check_bench_json.py.
+#
+# Environment:
+#   OMNIBOOST_BUILD_DIR    build directory (default <repo>/build)
+#   OMNIBOOST_JOBS         parallel build/test jobs (default nproc)
+#   OMNIBOOST_CMAKE_FLAGS  extra configure flags, word-split on purpose —
+#                          e.g. "-DOMNIBOOST_SANITIZE=ON -DOMNIBOOST_WERROR=ON"
+#                          (how the CI matrix selects its flavors)
 set -eu
 
 bench_smoke=0
@@ -28,7 +39,9 @@ echo "== layering lint =="
 sh "$root/tools/check_layering.sh"
 
 echo "== configure =="
-cmake -B "$build_dir" -S "$root"
+# Unquoted on purpose: OMNIBOOST_CMAKE_FLAGS is a word-split flag list.
+# shellcheck disable=SC2086
+cmake -B "$build_dir" -S "$root" ${OMNIBOOST_CMAKE_FLAGS:-}
 
 echo "== build ($jobs jobs) =="
 cmake --build "$build_dir" -j "$jobs"
@@ -45,6 +58,9 @@ if [ "$bench_smoke" -eq 1 ]; then
   OMNIBOOST_ESTIMATOR_CACHE="$smoke_dir/estimator.bin"
   OMNIBOOST_BENCH_JSON_DIR="$smoke_dir"
   export OMNIBOOST_BENCH_SMOKE OMNIBOOST_ESTIMATOR_CACHE OMNIBOOST_BENCH_JSON_DIR
+  # Run EVERY driver even after a failure (one broken bench must not hide
+  # another), then propagate a single non-zero exit for the whole loop.
+  smoke_failures=""
   for bench in "$build_dir"/bench_*; do
     [ -f "$bench" ] && [ -x "$bench" ] || continue
     name=$(basename "$bench")
@@ -56,9 +72,22 @@ if [ "$bench_smoke" -eq 1 ]; then
       echo "run_tier1.sh: bench smoke failed: $name" >&2
       echo "--- last 30 log lines ($smoke_dir/$name.log) ---" >&2
       tail -n 30 "$smoke_dir/$name.log" >&2
-      exit 1
+      smoke_failures="$smoke_failures $name"
     fi
   done
+  if [ -n "$smoke_failures" ]; then
+    echo "run_tier1.sh: bench smoke FAILED:$smoke_failures" >&2
+    exit 1
+  fi
+
+  echo "== bench JSON guard =="
+  if command -v python3 > /dev/null 2>&1; then
+    python3 "$root/tools/check_bench_json.py" "$smoke_dir"
+  else
+    # CI always has python3; only a bare local box lands here.
+    echo "run_tier1.sh: WARNING: python3 not found, skipping the" \
+         "BENCH_*.json artifact guard" >&2
+  fi
   echo "== bench smoke PASS =="
 fi
 
