@@ -6,7 +6,10 @@
 /// (OmniBoost), plus the zero-query greedy list scheduler. Scores are
 /// measured on the board simulator and normalized to all-on-GPU.
 
+#include <algorithm>
+
 #include "bench_common.hpp"
+#include "sched/bnb.hpp"
 #include "sched/greedy.hpp"
 #include "sched/local_search.hpp"
 #include "sched/search_common.hpp"
@@ -51,9 +54,18 @@ int main() {
   core::OmniBoostScheduler omni(ctx.zoo(), ctx.embedding(), ctx.estimator(),
                                 ob_cfg);
 
+  // The reference point: budgeted branch-and-bound over the analytic
+  // objective. Its mapping lands in the "BnB" column; its certified upper
+  // bound prices every other scheduler's gap.
+  sched::BnbConfig bnb_cfg;
+  bnb_cfg.timeout_ms = static_cast<double>(bench::scaled(200, 50));
+  sched::BranchAndBoundScheduler bnb("BnB", ctx.zoo(), ctx.device(), bnb_cfg);
+  const sim::AnalyticModel analytic(ctx.device());
+
   util::Table t({"mix", "workload", "Greedy", "Random", "HillClimb",
-                 "Annealing", "MCTS"});
-  std::array<double, 5> sums{};
+                 "Annealing", "MCTS", "BnB", "gap_vs_bound"});
+  std::array<double, 6> sums{};
+  double gap_sum = 0.0;
 
   util::Rng rng(kSeed);
   constexpr int kMixes = 5;
@@ -63,25 +75,38 @@ int main() {
         w.layer_counts(ctx.zoo()), device::ComponentId::kGpu);
     const double tb = ctx.measure(w, all_gpu);
 
-    const std::array<double, 5> norm = {
+    const auto mcts_r = omni.schedule(w);
+    const auto bnb_r = bnb.schedule(w);
+    const std::array<double, 6> norm = {
         ctx.measure(w, greedy.schedule(w).mapping) / tb,
         ctx.measure(w, random.schedule(w).mapping) / tb,
         ctx.measure(w, climb.schedule(w).mapping) / tb,
         ctx.measure(w, anneal.schedule(w).mapping) / tb,
-        ctx.measure(w, omni.schedule(w).mapping) / tb,
+        ctx.measure(w, mcts_r.mapping) / tb,
+        ctx.measure(w, bnb_r.mapping) / tb,
     };
     for (std::size_t s = 0; s < norm.size(); ++s) sums[s] += norm[s];
+    // MCTS's certified distance from BnB's admissible upper bound, both on
+    // the analytic objective (0 = provably optimal w.r.t. the bound).
+    const double ub = bnb_r.upper_bound.value_or(0.0);
+    const double got =
+        analytic.evaluate(w.resolve(ctx.zoo()), mcts_r.mapping).avg_throughput;
+    const double gap = ub > 0.0 ? std::max(0.0, (ub - got) / ub) : 0.0;
+    gap_sum += gap;
     t.add_row({"mix-" + std::to_string(mix), w.describe(),
                util::fmt(norm[0], 2), util::fmt(norm[1], 2),
                util::fmt(norm[2], 2), util::fmt(norm[3], 2),
-               util::fmt(norm[4], 2)});
+               util::fmt(norm[4], 2), util::fmt(norm[5], 2),
+               util::fmt(gap, 3)});
   }
   std::vector<std::string> avg = {"Average", ""};
   for (const double s : sums) avg.push_back(util::fmt(s / kMixes, 2));
+  avg.push_back(util::fmt(gap_sum / kMixes, 3));
   t.add_row(std::move(avg));
 
   std::printf("--- 4-DNN mixes, %zu estimator queries per informed search "
-              "(normalized to all-on-GPU) ---\n", kBudget);
+              "(normalized to all-on-GPU; gap_vs_bound = MCTS distance from "
+              "BnB's certified upper bound) ---\n", kBudget);
   bench::report("ablation_search", t);
 
   std::printf("\npaper check: informed searches beat the zero-query greedy; "

@@ -62,6 +62,9 @@ Mcts::Mcts(std::vector<std::size_t> layer_counts, BatchMappingEvaluator evaluate
     for (std::size_t l = 0; l < layer_counts_[i]; ++l)
       coords_.push_back(Coord{i, l});
   }
+  OB_REQUIRE(config_.action_mask == nullptr ||
+                 config_.action_mask->size() == coords_.size(),
+             "Mcts: action mask must cover every decision");
 }
 
 void Mcts::set_warm_start(MctsWarmStart warm) {
@@ -82,19 +85,31 @@ void Mcts::valid_actions(const std::vector<ComponentId>& path,
   if (c.layer == 0) {
     // First layer of a DNN: any component starts stage 1.
     for (bool& b : out) b = true;
-    return;
+  } else {
+    // Count stages of this DNN so far (decisions depth-c.layer .. depth-1).
+    const std::size_t first = depth - c.layer;
+    std::size_t stages = 1;
+    for (std::size_t d = first + 1; d < depth; ++d)
+      if (path[d] != path[d - 1]) ++stages;
+    const ComponentId prev = path[depth - 1];
+    for (std::size_t a = 0; a < kNumComponents; ++a) {
+      const auto comp = static_cast<ComponentId>(a);
+      // Opening one more stage is a losing state beyond the limit (§IV-C).
+      out[a] = comp == prev || stages < config_.stage_limit;
+    }
   }
-  // Count stages of this DNN so far (decisions depth-c.layer .. depth-1).
-  const std::size_t first = depth - c.layer;
-  std::size_t stages = 1;
-  for (std::size_t d = first + 1; d < depth; ++d)
-    if (path[d] != path[d - 1]) ++stages;
-  const ComponentId prev = path[depth - 1];
+  if (config_.action_mask == nullptr) return;
+  // AND in the reduction mask — unless that would strand the decision with
+  // no action at all (the mask is a pruning hint, never a dead end).
+  const std::uint8_t bits = (*config_.action_mask)[depth];
+  bool masked[kNumComponents];
+  bool any = false;
   for (std::size_t a = 0; a < kNumComponents; ++a) {
-    const auto comp = static_cast<ComponentId>(a);
-    // Opening one more stage is a losing state beyond the limit (§IV-C).
-    out[a] = comp == prev || stages < config_.stage_limit;
+    masked[a] = out[a] && ((bits >> a) & 1u) != 0;
+    any = any || masked[a];
   }
+  if (!any) return;
+  for (std::size_t a = 0; a < kNumComponents; ++a) out[a] = masked[a];
 }
 
 sim::Mapping Mcts::to_mapping(const std::vector<ComponentId>& path) const {

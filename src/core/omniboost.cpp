@@ -32,7 +32,7 @@ class StopWatch {
 OmniBoostScheduler::OmniBoostScheduler(
     const models::ModelZoo& zoo, const EmbeddingTensor& embedding,
     std::shared_ptr<const ThroughputEstimator> estimator,
-    OmniBoostConfig config)
+    const OmniBoostConfig& config)
     : zoo_(&zoo),
       embedding_(&embedding),
       estimator_(std::move(estimator)),

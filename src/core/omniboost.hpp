@@ -93,7 +93,7 @@ class OmniBoostScheduler final : public IScheduler {
   OmniBoostScheduler(const models::ModelZoo& zoo,
                      const EmbeddingTensor& embedding,
                      std::shared_ptr<const ThroughputEstimator> estimator,
-                     OmniBoostConfig config = {});
+                     const OmniBoostConfig& config = {});
 
   std::string name() const override { return "OmniBoost"; }
   ScheduleResult schedule(const workload::Workload& w) override;

@@ -13,6 +13,7 @@
 /// override it to make incremental decisions cheaper.
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,18 @@ struct ScheduleResult {
   /// Board time a measurement-driven scheduler would burn on the device for
   /// this decision (GA fitness runs). Zero for model-driven schedulers.
   double board_seconds = 0.0;
+
+  /// Optimality-certificate fields, filled only by bounding searches
+  /// (sched::BranchAndBoundScheduler). lower_bound is the objective of the
+  /// returned incumbent (achieved, hence a certified lower bound on the
+  /// optimum); upper_bound is an admissible bound no optimal mapping can
+  /// exceed. proved_optimal means the search closed the gap before its
+  /// budget ran out — then lower_bound == upper_bound == expected_reward.
+  std::optional<double> lower_bound;
+  std::optional<double> upper_bound;
+  std::optional<bool> proved_optimal;
+  /// Search-tree nodes expanded before returning (anytime-budget telemetry).
+  std::optional<std::size_t> nodes_expanded;
 };
 
 /// Context of an incremental decision in a dynamic scenario

@@ -1,0 +1,192 @@
+#include "sched/bnb.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "sched/greedy.hpp"
+#include "util/require.hpp"
+
+namespace omniboost::sched {
+
+using device::ComponentId;
+using device::kNumComponents;
+
+namespace {
+
+/// Flattened decision coordinates, MCTS order: dnn-after-dnn, layer-after-
+/// layer (also the canonical enumeration order of search_common).
+struct Coord {
+  std::size_t dnn, layer;
+};
+
+}  // namespace
+
+BranchAndBoundScheduler::BranchAndBoundScheduler(
+    std::string name, const models::ModelZoo& zoo,
+    const device::DeviceSpec& device, BnbConfig config)
+    : name_(std::move(name)), zoo_(&zoo), model_(device), config_(config) {
+  OB_REQUIRE(config_.stage_limit >= 1,
+             "BranchAndBoundScheduler: stage limit must be >= 1");
+}
+
+core::ScheduleResult BranchAndBoundScheduler::schedule(
+    const workload::Workload& w) {
+  OB_REQUIRE(w.size() > 0, "BranchAndBoundScheduler: empty workload");
+  const auto start = std::chrono::steady_clock::now();
+
+  const sim::NetworkList nets = w.resolve(*zoo_);
+  const std::vector<std::size_t> counts = w.layer_counts(*zoo_);
+
+  std::vector<Coord> coords;
+  for (std::size_t d = 0; d < counts.size(); ++d)
+    for (std::size_t l = 0; l < counts[d]; ++l) coords.push_back({d, l});
+  const std::size_t total = coords.size();
+
+  ReducedSpace reduced;
+  if (config_.use_reduction) {
+    reduced = reduce_search_space(*zoo_, w, model_.cost_model().device(),
+                                  ReduceConfig{config_.stage_limit});
+  }
+  const bool symmetry = config_.use_reduction && reduced.has_symmetry();
+
+  const sim::RelaxedBound bound(nets, model_.cost_model());
+
+  core::ScheduleResult result;
+  double incumbent_value = -std::numeric_limits<double>::infinity();
+  sim::Mapping incumbent;
+
+  const auto evaluate = [&](const sim::Mapping& m) {
+    ++result.evaluations;
+    return model_.evaluate(nets, m).avg_throughput;
+  };
+  const auto greedy_seed = [&]() {
+    GreedyScheduler greedy(*zoo_, model_.cost_model().device(),
+                           GreedyConfig{config_.stage_limit});
+    sim::Mapping m = greedy.schedule(w).mapping;
+    const double v = evaluate(m);
+    if (v > incumbent_value) {
+      incumbent_value = v;
+      incumbent = std::move(m);
+    }
+  };
+  if (config_.seed_incumbent) greedy_seed();
+
+  std::vector<sim::PartialAssignment> partial;
+  partial.reserve(nets.size());
+  for (const std::size_t c : counts)
+    partial.emplace_back(c, sim::kLayerUnassigned);
+
+  const bool has_deadline = config_.timeout_ms > 0.0;
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(config_.timeout_ms));
+
+  std::size_t nodes = 0;
+  bool stop = false;       // sticky once any budget expires
+  bool aborted = false;    // some subtree was left unexplored
+  double unexplored_ub = -std::numeric_limits<double>::infinity();
+  std::size_t used_count[kNumComponents] = {0, 0, 0};
+
+  const auto budget_exhausted = [&]() {
+    if (stop) return true;
+    if (config_.max_nodes > 0 && nodes >= config_.max_nodes) stop = true;
+    // The clock is sampled every 64 nodes: cheap, and tight enough that a
+    // timeout overrun stays far below a millisecond.
+    else if (has_deadline && (nodes & 63u) == 0 &&
+             std::chrono::steady_clock::now() >= deadline)
+      stop = true;
+    return stop;
+  };
+
+  const auto to_mapping = [&]() {
+    std::vector<sim::Assignment> per_dnn;
+    per_dnn.reserve(counts.size());
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      sim::Assignment a(counts[d], ComponentId::kGpu);
+      for (std::size_t l = 0; l < counts[d]; ++l)
+        a[l] = static_cast<ComponentId>(partial[d][l]);
+      per_dnn.push_back(std::move(a));
+    }
+    return sim::Mapping(std::move(per_dnn));
+  };
+
+  const std::function<void(std::size_t)> dfs = [&](std::size_t depth) {
+    if (depth == total) {
+      sim::Mapping m = to_mapping();
+      const double r = evaluate(m);
+      if (r > incumbent_value) {
+        incumbent_value = r;
+        incumbent = std::move(m);
+      }
+      return;
+    }
+    const Coord c = coords[depth];
+    // Pipeline stages this DNN has opened so far (prefix fully assigned).
+    std::size_t stages = 1;
+    for (std::size_t l = 1; l < c.layer; ++l)
+      if (partial[c.dnn][l] != partial[c.dnn][l - 1]) ++stages;
+
+    static const std::vector<ComponentId> kEveryComponent(
+        device::kAllComponents.begin(), device::kAllComponents.end());
+    const std::vector<ComponentId>& choices =
+        config_.use_reduction ? reduced.allowed[c.dnn][c.layer]
+                              : kEveryComponent;
+    for (const ComponentId comp : choices) {
+      if (c.layer > 0) {
+        const auto prev =
+            static_cast<ComponentId>(partial[c.dnn][c.layer - 1]);
+        if (comp != prev && stages == config_.stage_limit) continue;
+      }
+      const std::size_t ci = device::component_index(comp);
+      if (symmetry && used_count[ci] == 0) {
+        // Canonical first-use order within each class of identical
+        // components: introduce the smallest unused member first. Every
+        // skipped branch is a class permutation of a kept one.
+        bool skip = false;
+        for (std::size_t prior = 0; prior < ci; ++prior)
+          if (reduced.symmetry_class[prior] == reduced.symmetry_class[ci] &&
+              used_count[prior] == 0)
+            skip = true;
+        if (skip) continue;
+      }
+
+      partial[c.dnn][c.layer] = static_cast<std::int8_t>(ci);
+      ++used_count[ci];
+      ++nodes;
+      const double ub = bound.upper_bound(partial);
+      if (ub <= incumbent_value) {
+        // Certified: nothing below can strictly beat the incumbent.
+      } else if (budget_exhausted()) {
+        aborted = true;
+        unexplored_ub = std::max(unexplored_ub, ub);
+      } else {
+        dfs(depth + 1);
+      }
+      --used_count[ci];
+      partial[c.dnn][c.layer] = sim::kLayerUnassigned;
+    }
+  };
+  dfs(0);
+
+  // Degenerate budgets (seed_incumbent=false + a tiny node cap) can abort
+  // before the first leaf; the anytime contract still owes a valid mapping.
+  if (!std::isfinite(incumbent_value)) greedy_seed();
+
+  result.mapping = incumbent;
+  result.expected_reward = incumbent_value;
+  result.lower_bound = incumbent_value;
+  result.proved_optimal = !aborted;
+  result.upper_bound =
+      aborted ? std::max(incumbent_value, unexplored_ub) : incumbent_value;
+  result.nodes_expanded = nodes;
+  result.decision_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace omniboost::sched

@@ -1,0 +1,68 @@
+#pragma once
+/// \file bnb.hpp
+/// Anytime-optimal reference scheduler: depth-first branch-and-bound over
+/// per-layer device assignments against the closed-form analytic objective
+/// (sim::AnalyticModel::evaluate(...).avg_throughput — the same function the
+/// analytic evaluator factory exposes, so its optima are directly comparable
+/// with ExhaustiveScheduler ground truth).
+///
+/// The search maximizes, so the roles are: the INCUMBENT (best complete
+/// mapping found so far, seeded by GreedyScheduler) certifies a lower bound
+/// on the optimum; the admissible relaxation (sim::RelaxedBound — every
+/// uncommitted layer on its best device, contention-free) certifies an upper
+/// bound on each subtree. A subtree whose bound cannot strictly beat the
+/// incumbent is pruned, which preserves the optimal VALUE exactly.
+///
+/// Anytime contract: schedule() always returns a valid mapping. When the
+/// wall-clock/node budget (BnbConfig::{timeout_ms, max_nodes}) expires the
+/// incumbent is returned with proved_optimal=false and upper_bound equal to
+/// the max of the incumbent and every unexplored subtree's bound — still a
+/// certified interval containing the optimum. With an unexhausted budget
+/// proved_optimal=true and lower_bound == upper_bound == expected_reward.
+
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "models/zoo.hpp"
+#include "sched/reduce.hpp"
+#include "sim/analytic.hpp"
+
+namespace omniboost::sched {
+
+/// Branch-and-bound controls.
+struct BnbConfig {
+  std::size_t stage_limit = 3;  ///< the paper's x = pipeline-stage cap
+  /// Wall-clock budget in milliseconds; 0 = unlimited. Checked coarsely
+  /// (every few dozen nodes), so overruns stay in the microsecond range.
+  double timeout_ms = 0.0;
+  std::size_t max_nodes = 0;  ///< node budget; 0 = unlimited
+  /// Seed the incumbent with GreedyScheduler's mapping, guaranteeing the
+  /// anytime result is never worse than Greedy. Off is useful only for
+  /// order-agreement tests (first-in-canonical-order argmax).
+  bool seed_incumbent = true;
+  /// Run sched::reduce_search_space first and search the reduced space
+  /// (dominance-pruned per-layer choices + symmetry-canonical branching).
+  /// Optimal value is preserved either way; off searches the raw space.
+  bool use_reduction = true;
+};
+
+/// The exact/anytime reference scheduler.
+class BranchAndBoundScheduler final : public core::IScheduler {
+ public:
+  BranchAndBoundScheduler(std::string name, const models::ModelZoo& zoo,
+                          const device::DeviceSpec& device,
+                          BnbConfig config = {});
+
+  std::string name() const override { return name_; }
+
+  /// Runs the bounded depth-first search; see the anytime contract above.
+  core::ScheduleResult schedule(const workload::Workload& w) override;
+
+ private:
+  std::string name_;
+  const models::ModelZoo* zoo_;
+  sim::AnalyticModel model_;  ///< owns a DeviceSpec copy; non-copyable
+  BnbConfig config_;
+};
+
+}  // namespace omniboost::sched

@@ -10,102 +10,6 @@
 
 namespace omniboost::sched {
 
-using device::ComponentId;
-using device::kNumComponents;
-
-namespace {
-
-/// C(n, k) in floating point (exact for the small k we use).
-double binomial(std::size_t n, std::size_t k) {
-  if (k > n) return 0.0;
-  k = std::min(k, n - k);
-  double r = 1.0;
-  for (std::size_t i = 1; i <= k; ++i) {
-    r *= static_cast<double>(n - k + i);
-    r /= static_cast<double>(i);
-  }
-  return r;
-}
-
-/// Appends every assignment with exactly the given segment cut points,
-/// recursing over adjacent-distinct component sequences.
-void emit_component_sequences(const std::vector<std::size_t>& cuts,
-                              std::size_t layers, std::size_t seg,
-                              sim::Assignment& scratch,
-                              std::vector<sim::Assignment>& out) {
-  const std::size_t num_segments = cuts.size() + 1;
-  if (seg == num_segments) {
-    out.push_back(scratch);
-    return;
-  }
-  const std::size_t first = seg == 0 ? 0 : cuts[seg - 1];
-  const std::size_t last = seg == cuts.size() ? layers - 1 : cuts[seg] - 1;
-  const ComponentId prev = seg == 0 ? ComponentId::kGpu : scratch[first - 1];
-  for (std::size_t c = 0; c < kNumComponents; ++c) {
-    const auto comp = static_cast<ComponentId>(c);
-    if (seg > 0 && comp == prev) continue;  // equal would merge segments
-    for (std::size_t l = first; l <= last; ++l) scratch[l] = comp;
-    emit_component_sequences(cuts, layers, seg + 1, scratch, out);
-  }
-}
-
-/// Iterates all k-subsets of cut positions {1..layers-1}.
-void emit_cut_choices(std::size_t layers, std::size_t num_cuts,
-                      std::size_t next, std::vector<std::size_t>& cuts,
-                      sim::Assignment& scratch,
-                      std::vector<sim::Assignment>& out) {
-  if (cuts.size() == num_cuts) {
-    emit_component_sequences(cuts, layers, 0, scratch, out);
-    return;
-  }
-  for (std::size_t pos = next; pos <= layers - 1; ++pos) {
-    cuts.push_back(pos);
-    emit_cut_choices(layers, num_cuts, pos + 1, cuts, scratch, out);
-    cuts.pop_back();
-  }
-}
-
-}  // namespace
-
-double count_assignments(std::size_t layers, std::size_t stage_limit) {
-  OB_REQUIRE(layers >= 1, "count_assignments: zero layers");
-  OB_REQUIRE(stage_limit >= 1, "count_assignments: bad stage limit");
-  const auto k = static_cast<double>(kNumComponents);
-  double total = 0.0;
-  const std::size_t max_stages = std::min(stage_limit, layers);
-  for (std::size_t s = 1; s <= max_stages; ++s) {
-    total += binomial(layers - 1, s - 1) * k *
-             std::pow(k - 1.0, static_cast<double>(s - 1));
-  }
-  return total;
-}
-
-double count_mappings(const models::ModelZoo& zoo, const workload::Workload& w,
-                      std::size_t stage_limit) {
-  double total = 1.0;
-  for (const std::size_t layers : w.layer_counts(zoo)) {
-    total *= count_assignments(layers, stage_limit);
-  }
-  return total;
-}
-
-std::vector<sim::Assignment> enumerate_assignments(std::size_t layers,
-                                                   std::size_t stage_limit,
-                                                   std::size_t max_count) {
-  const double count = count_assignments(layers, stage_limit);
-  OB_REQUIRE(count <= static_cast<double>(max_count),
-             "enumerate_assignments: space exceeds max_count");
-  std::vector<sim::Assignment> out;
-  out.reserve(static_cast<std::size_t>(count));
-  sim::Assignment scratch(layers, ComponentId::kGpu);
-  std::vector<std::size_t> cuts;
-  const std::size_t max_stages = std::min(stage_limit, layers);
-  for (std::size_t s = 1; s <= max_stages; ++s) {
-    emit_cut_choices(layers, s - 1, 1, cuts, scratch, out);
-  }
-  return out;
-}
-
 ExhaustiveScheduler::ExhaustiveScheduler(std::string name,
                                          const models::ModelZoo& zoo,
                                          WorkloadEvaluatorFactory evaluator,
@@ -128,17 +32,29 @@ core::ScheduleResult ExhaustiveScheduler::schedule(const workload::Workload& w) 
   const core::MappingEvaluator evaluate = factory_(w);
   const std::vector<std::size_t> counts = w.layer_counts(*zoo_);
 
+  if (config_.reduce != nullptr) {
+    OB_REQUIRE(config_.reduce->allowed.size() == counts.size(),
+               "ExhaustiveScheduler: reduction/workload shape mismatch");
+  }
+
   std::vector<std::vector<sim::Assignment>> per_dnn;
   per_dnn.reserve(counts.size());
-  for (const std::size_t layers : counts) {
-    per_dnn.push_back(enumerate_assignments(layers, config_.stage_limit,
-                                            config_.max_mappings));
+  for (std::size_t d = 0; d < counts.size(); ++d) {
+    const LayerChoices* allowed =
+        config_.reduce != nullptr ? &config_.reduce->allowed[d] : nullptr;
+    per_dnn.push_back(enumerate_assignments(counts[d], config_.stage_limit,
+                                            config_.max_mappings, allowed));
+    OB_REQUIRE(!per_dnn.back().empty(),
+               "ExhaustiveScheduler: reduction emptied a DNN's space");
   }
 
   core::ScheduleResult result;
   result.expected_reward = -std::numeric_limits<double>::infinity();
 
-  // Odometer over the Cartesian product of per-DNN assignment lists.
+  // Odometer over the Cartesian product of per-DNN assignment lists, last
+  // DNN fastest: combined with the canonical per-DNN list order this visits
+  // whole mappings in exactly the flattened depth-first order the
+  // branch-and-bound scheduler uses, so ties resolve identically.
   std::vector<std::size_t> idx(counts.size(), 0);
   for (;;) {
     std::vector<sim::Assignment> pick;
@@ -154,12 +70,16 @@ core::ScheduleResult ExhaustiveScheduler::schedule(const workload::Workload& w) 
       result.mapping = std::move(m);
     }
 
-    std::size_t d = 0;
-    while (d < idx.size() && ++idx[d] == per_dnn[d].size()) {
+    std::size_t d = idx.size();
+    bool done = true;
+    while (d-- > 0) {
+      if (++idx[d] < per_dnn[d].size()) {
+        done = false;
+        break;
+      }
       idx[d] = 0;
-      ++d;
     }
-    if (d == idx.size()) break;
+    if (done) break;
   }
 
   result.decision_seconds =

@@ -8,38 +8,32 @@
 /// other searches land.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/scheduler.hpp"
 #include "models/zoo.hpp"
+#include "sched/reduce.hpp"
 #include "sched/search_common.hpp"
 
 namespace omniboost::sched {
 
-/// Number of assignments of \p layers layers with at most \p stage_limit
-/// contiguous stages on kNumComponents components:
-///   sum_{s=1..min(x,L)} C(L-1, s-1) * k * (k-1)^(s-1).
-/// Returned as double — realistic layer counts overflow 64-bit integers.
-double count_assignments(std::size_t layers, std::size_t stage_limit);
-
-/// Size of the full mapping space of a workload: the product of its DNNs'
-/// assignment counts.
-double count_mappings(const models::ModelZoo& zoo, const workload::Workload& w,
-                      std::size_t stage_limit);
-
-/// Materializes every stage-limited assignment of one DNN.
-/// Throws when the count exceeds \p max_count (guard against accidental
-/// exponential blow-up).
-std::vector<sim::Assignment> enumerate_assignments(std::size_t layers,
-                                                   std::size_t stage_limit,
-                                                   std::size_t max_count);
-
-/// Exhaustive-search controls.
+/// Exhaustive-search controls. The enumeration helpers formerly declared
+/// here (count_assignments, count_mappings, enumerate_assignments) live in
+/// sched/search_common.hpp, shared with the branch-and-bound scheduler and
+/// the reduce pass so all exact searches agree on one canonical order.
 struct ExhaustiveConfig {
   std::size_t stage_limit = 3;
   /// Hard cap on the number of complete mappings that may be evaluated;
-  /// schedule() throws when the workload's space is larger.
+  /// schedule() throws when the workload's space is larger. The cap is
+  /// checked against the UNRESTRICTED space even when a reduction is
+  /// installed, so reduction never changes which workloads are accepted.
   std::size_t max_mappings = 2'000'000;
+  /// Optional pre-computed reduction (sched::reduce_search_space) restricting
+  /// per-layer choices. Must match the scheduled workload's shape. Null (the
+  /// default) enumerates the full space, preserving the historical
+  /// evaluations == count_mappings contract the tests pin.
+  std::shared_ptr<const ReducedSpace> reduce;
 };
 
 /// The exact optimizer. Only usable on tiny workloads; the ablation tests

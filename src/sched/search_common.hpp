@@ -1,7 +1,8 @@
 #pragma once
 /// \file search_common.hpp
 /// Shared plumbing of the search-based schedulers: per-workload evaluator
-/// factories. A scheduler instance must handle arbitrary workloads, but a
+/// factories and the canonical enumeration of the stage-limited assignment
+/// space. A scheduler instance must handle arbitrary workloads, but a
 /// core::MappingEvaluator scores mappings of one fixed workload — the factory
 /// closes over the workload and produces the evaluator on demand.
 ///
@@ -17,8 +18,10 @@
 #include "core/embedding.hpp"
 #include "core/estimator.hpp"
 #include "core/mcts.hpp"
+#include "models/zoo.hpp"
 #include "sim/analytic.hpp"
 #include "sim/des.hpp"
+#include "workload/workload.hpp"
 
 namespace omniboost::sched {
 
@@ -52,5 +55,39 @@ WorkloadEvaluatorFactory analytic_evaluator_factory(
 WorkloadEvaluatorFactory ensemble_evaluator_factory(
     const models::ModelZoo& zoo, const core::EmbeddingTensor& embedding,
     std::vector<std::shared_ptr<const core::ThroughputEstimator>> members);
+
+// ---------------------------------------------------------------------------
+// Canonical enumeration of the stage-limited assignment space. Shared by
+// ExhaustiveScheduler, BranchAndBoundScheduler and the reduce pass so every
+// exact search agrees on one visiting order (pinned by a golden in
+// tests/sched_search_test.cpp): depth-first over layers with layer 0
+// outermost and components tried in kAllComponents order (GPU, big, LITTLE),
+// skipping stage-infeasible prefixes. The first assignment is therefore
+// all-GPU, and the order is lexicographic in per-layer component indices.
+
+/// Per-layer component restriction for one DNN: allowed[l] lists the
+/// components layer l may use, in kAllComponents order. Produced by the
+/// reduce pass (ReducedSpace::allowed), consumed by the exact searches.
+using LayerChoices = std::vector<std::vector<device::ComponentId>>;
+
+/// Number of assignments of \p layers layers with at most \p stage_limit
+/// contiguous stages on kNumComponents components:
+///   sum_{s=1..min(x,L)} C(L-1, s-1) * k * (k-1)^(s-1).
+/// Returned as double — realistic layer counts overflow 64-bit integers.
+double count_assignments(std::size_t layers, std::size_t stage_limit);
+
+/// Size of the full mapping space of a workload: the product of its DNNs'
+/// assignment counts.
+double count_mappings(const models::ModelZoo& zoo, const workload::Workload& w,
+                      std::size_t stage_limit);
+
+/// Materializes every stage-limited assignment of one DNN, in canonical
+/// order. Throws when the unrestricted count exceeds \p max_count (guard
+/// against accidental exponential blow-up). When \p allowed is non-null it
+/// must have one entry per layer; assignments using a disallowed component
+/// are skipped.
+std::vector<sim::Assignment> enumerate_assignments(
+    std::size_t layers, std::size_t stage_limit, std::size_t max_count,
+    const LayerChoices* allowed = nullptr);
 
 }  // namespace omniboost::sched

@@ -1,6 +1,7 @@
 #include "sim/analytic.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "sim/des.hpp"
 #include "util/require.hpp"
@@ -44,6 +45,146 @@ ThroughputReport AnalyticModel::evaluate(const NetworkList& nets,
 
   finalize_report(report, scene, nets, cost_.device());
   return report;
+}
+
+namespace {
+
+/// Minimal achievable max-bin level when \p remaining work is spread over the
+/// kNumComponents bins with the given committed floors (water-filling).
+double waterfill_minmax(std::array<double, device::kNumComponents> bins,
+                        double remaining) {
+  std::sort(bins.begin(), bins.end());
+  double level = bins[0];
+  for (std::size_t c = 0; c + 1 < bins.size(); ++c) {
+    const double width = static_cast<double>(c + 1);
+    const double cap = (bins[c + 1] - level) * width;
+    if (remaining <= cap) return std::max(bins.back(), level + remaining / width);
+    remaining -= cap;
+    level = bins[c + 1];
+  }
+  level += remaining / static_cast<double>(bins.size());
+  return std::max(bins.back(), level);
+}
+
+}  // namespace
+
+RelaxedBound::RelaxedBound(const NetworkList& nets,
+                           const device::CostModel& cost)
+    : cost_(&cost) {
+  OB_REQUIRE(!nets.empty(), "RelaxedBound: empty workload");
+  const device::DeviceSpec& dev = cost.device();
+  overhead_s_ = dev.per_inference_overhead_s;
+
+  double weight_floor_bytes =
+      dev.per_stream_overhead_bytes * static_cast<double>(nets.size());
+  time_.resize(nets.size());
+  tmin_.resize(nets.size());
+  out_bytes_.resize(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    OB_REQUIRE(nets[i] != nullptr, "RelaxedBound: null network");
+    const models::NetworkDesc& net = *nets[i];
+    time_[i].resize(net.num_layers());
+    tmin_[i].resize(net.num_layers());
+    out_bytes_[i].resize(net.num_layers());
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < device::kNumComponents; ++c) {
+        const double t =
+            cost.layer_time(net.layers[l], static_cast<device::ComponentId>(c));
+        time_[i][l][c] = t;
+        best = std::min(best, t);
+      }
+      tmin_[i][l] = best;
+      out_bytes_[i][l] = net.layers[l].output_bytes();
+      weight_floor_bytes += net.layers[l].weight_bytes;
+    }
+  }
+  // Segment working sets are weights plus at least one activation, so the
+  // weights-plus-stream-overhead floor already deciding infeasibility makes
+  // every completion infeasible (build_scene's fits_in_memory check).
+  memory_infeasible_ = weight_floor_bytes > dev.memory_budget_bytes;
+}
+
+double RelaxedBound::upper_bound(
+    const std::vector<PartialAssignment>& partial) const {
+  OB_REQUIRE(partial.size() == time_.size(),
+             "RelaxedBound: partial/workload size mismatch");
+  if (memory_infeasible_) return 0.0;
+
+  // Committed uncontended load per component, across all streams, plus the
+  // total best-case remaining work that must still land somewhere.
+  std::array<double, device::kNumComponents> committed{};
+  double remaining = 0.0;
+  double worst_stream_floor = overhead_s_;
+
+  for (std::size_t i = 0; i < partial.size(); ++i) {
+    const PartialAssignment& pa = partial[i];
+    OB_REQUIRE(pa.size() == time_[i].size(),
+               "RelaxedBound: partial length mismatch");
+    double own_total = overhead_s_;
+    double forced_transfer = 0.0;
+    // The per-inference overhead is charged to the stream's first segment,
+    // i.e. to whatever component layer 0 lands on.
+    if (pa[0] >= 0)
+      committed[static_cast<std::size_t>(pa[0])] += overhead_s_;
+    else
+      remaining += overhead_s_;
+    for (std::size_t l = 0; l < pa.size(); ++l) {
+      if (pa[l] < 0) {
+        own_total += tmin_[i][l];
+        remaining += tmin_[i][l];
+        continue;
+      }
+      const auto c = static_cast<std::size_t>(pa[l]);
+      OB_REQUIRE(c < device::kNumComponents,
+                 "RelaxedBound: component index out of range");
+      committed[c] += time_[i][l][c];
+      own_total += time_[i][l][c];
+      if (l + 1 < pa.size() && pa[l + 1] >= 0 && pa[l + 1] != pa[l]) {
+        // Adjacent committed layers on distinct components force a pipeline
+        // cut with exactly this transfer in every completion.
+        forced_transfer = std::max(
+            forced_transfer,
+            cost_->transfer_time(out_bytes_[i][l],
+                                 static_cast<device::ComponentId>(pa[l]),
+                                 static_cast<device::ComponentId>(pa[l + 1])));
+      }
+    }
+    double floor = std::max(
+        overhead_s_, own_total / static_cast<double>(device::kNumComponents));
+    floor = std::max(floor, forced_transfer);
+    worst_stream_floor = std::max(worst_stream_floor, floor);
+  }
+
+  // Second pass: with the full committed picture, every stream's bottleneck
+  // is at least the committed load of any component it has a layer on.
+  for (std::size_t i = 0; i < partial.size(); ++i) {
+    const PartialAssignment& pa = partial[i];
+    double floor = 0.0;
+    bool seen[device::kNumComponents] = {false, false, false};
+    for (std::size_t l = 0; l < pa.size(); ++l) {
+      if (pa[l] < 0) continue;
+      const auto c = static_cast<std::size_t>(pa[l]);
+      if (!seen[c]) {
+        seen[c] = true;
+        floor = std::max(floor, committed[c]);
+      }
+    }
+    worst_stream_floor = std::max(worst_stream_floor, floor);
+  }
+
+  const double spread = waterfill_minmax(committed, remaining);
+  const double bottleneck = std::max(worst_stream_floor, spread);
+  OB_ENSURE(bottleneck > 0.0, "RelaxedBound: degenerate bottleneck");
+  // Relative + absolute inflation keeps exact-arithmetic ties admissible
+  // under floating-point reassociation.
+  return (1.0 / bottleneck) * (1.0 + 1e-9) + 1e-12;
+}
+
+double relaxed_throughput_bound(const NetworkList& nets,
+                                const std::vector<PartialAssignment>& partial,
+                                const device::CostModel& cost) {
+  return RelaxedBound(nets, cost).upper_bound(partial);
 }
 
 }  // namespace omniboost::sim

@@ -7,6 +7,9 @@
 /// inter-stage transfer. Orders of magnitude faster than the DES; used for
 /// quick estimates and cross-validated against the DES in the test suite.
 
+#include <cstdint>
+#include <vector>
+
 #include "sim/report.hpp"
 #include "sim/segments.hpp"
 
@@ -34,5 +37,55 @@ class AnalyticModel {
   device::DeviceSpec device_;  ///< owned copy; cost_ points into it
   device::CostModel cost_;
 };
+
+/// Sentinel for a layer the search has not committed to a component yet.
+inline constexpr std::int8_t kLayerUnassigned = -1;
+
+/// Partial layer-to-component assignment of one stream: one entry per layer,
+/// either a component index or kLayerUnassigned.
+using PartialAssignment = std::vector<std::int8_t>;
+
+/// Admissible upper bound on AnalyticModel::evaluate(...).avg_throughput
+/// over every completion of a partial mapping — the relaxation behind the
+/// branch-and-bound reference scheduler (sched::BranchAndBoundScheduler) and
+/// the reduce pass's dominance probing.
+///
+/// The relaxation drops everything that can only slow a completion down:
+/// contention penalties (>= 1), the shared-DRAM wall (scale <= 1), and the
+/// unknown placement of uncommitted layers (each scored at its best
+/// uncontended device time). What remains is a per-stream bottleneck floor —
+/// committed load on components the stream provably uses, its own total work
+/// spread over at most kNumComponents components, the per-inference overhead,
+/// and transfers forced by adjacent committed layers on distinct components —
+/// plus a global water-filling floor: the remaining work must land somewhere,
+/// and whichever component ends up fullest is used by some stream, capping
+/// the slowest-stream objective. The returned value is inflated by a relative
+/// epsilon so exact-arithmetic ties stay on the admissible side.
+class RelaxedBound {
+ public:
+  /// Borrows \p nets and \p cost; both must outlive the bound.
+  RelaxedBound(const NetworkList& nets, const device::CostModel& cost);
+
+  /// Upper bound over all completions; partial.size() == nets.size() and
+  /// partial[i].size() == nets[i]->num_layers(). Returns 0 when every
+  /// completion is memory-infeasible (weights alone exceed the board budget).
+  double upper_bound(const std::vector<PartialAssignment>& partial) const;
+
+ private:
+  const device::CostModel* cost_;
+  /// Uncontended layer time per component: time_[i][l][c].
+  std::vector<std::vector<std::array<double, device::kNumComponents>>> time_;
+  /// Best-device layer time: min over c of time_[i][l][c].
+  std::vector<std::vector<double>> tmin_;
+  /// Output bytes of each layer (forced-transfer sizing).
+  std::vector<std::vector<double>> out_bytes_;
+  double overhead_s_ = 0.0;  ///< per-inference framework cost per stream
+  bool memory_infeasible_ = false;  ///< weights alone exceed the budget
+};
+
+/// One-shot convenience wrapper over RelaxedBound.
+double relaxed_throughput_bound(const NetworkList& nets,
+                                const std::vector<PartialAssignment>& partial,
+                                const device::CostModel& cost);
 
 }  // namespace omniboost::sim

@@ -6,8 +6,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
+#include <utility>
 
 #include "core/omniboost.hpp"
 #include "models/zoo.hpp"
@@ -360,6 +363,187 @@ TEST_F(TinyWorkloadOptimality, MctsGetsCloseToOptimum) {
   // space; the paper's claim is "near optimal with high probability".
   EXPECT_GE(got, 0.80 * optimum)
       << "MCTS landed at " << got << " vs optimum " << optimum;
+}
+
+// --- Canonical enumeration order ------------------------------------------
+//
+// BnB, the exhaustive search, and the reduce pass all assume the one
+// canonical order documented in search_common.hpp: layer-major DFS with
+// components tried in kAllComponents order and stage-infeasible prefixes
+// skipped. This golden pins it with an independent reimplementation, so any
+// accidental reorder breaks here before it silently breaks the
+// first-strict-improvement agreement between the searches.
+
+std::vector<Assignment> reference_order(std::size_t layers,
+                                        std::size_t stage_limit) {
+  std::vector<Assignment> out;
+  Assignment scratch(layers, ComponentId::kGpu);
+  const std::function<void(std::size_t, std::size_t)> rec =
+      [&](std::size_t l, std::size_t stages) {
+        if (l == layers) {
+          out.push_back(scratch);
+          return;
+        }
+        for (const ComponentId comp : device::kAllComponents) {
+          std::size_t next = stages;
+          if (l > 0 && comp != scratch[l - 1]) {
+            if (stages == stage_limit) continue;
+            next = stages + 1;
+          }
+          scratch[l] = comp;
+          rec(l + 1, next);
+        }
+      };
+  rec(0, 1);
+  return out;
+}
+
+TEST(EnumerateAssignments, CanonicalOrderGolden) {
+  for (const std::size_t layers : {1u, 2u, 3u, 5u, 7u}) {
+    const auto got = sched::enumerate_assignments(layers, 3, 100'000);
+    const auto want = reference_order(layers, 3);
+    ASSERT_EQ(got.size(), want.size()) << "layers=" << layers;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "layers=" << layers << " index=" << i;
+    }
+    // Spot pins of the contract's two most load-bearing corollaries.
+    EXPECT_EQ(got.front(),
+              Assignment(layers, ComponentId::kGpu));  // all-GPU first
+  }
+}
+
+TEST(EnumerateAssignments, AllowedListsRestrictTheSameOrder) {
+  // Enumerating under per-layer allowed lists must equal filtering the full
+  // canonical enumeration — same membership, same relative order.
+  const std::size_t layers = 5;
+  sched::LayerChoices allowed(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    allowed[l] = (l == 2)
+                     ? std::vector<ComponentId>{ComponentId::kGpu,
+                                                ComponentId::kBigCpu}
+                     : std::vector<ComponentId>{device::kAllComponents.begin(),
+                                                device::kAllComponents.end()};
+  }
+  const auto restricted =
+      sched::enumerate_assignments(layers, 3, 100'000, &allowed);
+  auto filtered = sched::enumerate_assignments(layers, 3, 100'000);
+  filtered.erase(std::remove_if(filtered.begin(), filtered.end(),
+                                [](const Assignment& a) {
+                                  return a[2] == ComponentId::kLittleCpu;
+                                }),
+                 filtered.end());
+  EXPECT_EQ(restricted, filtered);
+}
+
+// --- Relaxed-bound admissibility ------------------------------------------
+
+/// Single-DNN partials: the bound at any partial must dominate the best
+/// achieved throughput over every consistent stage-valid completion.
+TEST(RelaxedBound, AdmissibleOverSingleDnnCompletions) {
+  const Workload w{{ModelId::kAlexNet}};
+  const sim::NetworkList nets = w.resolve(zoo());
+  const std::size_t layers = nets[0]->num_layers();
+  const auto all = sched::enumerate_assignments(layers, 3, 100'000);
+
+  std::vector<double> value(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    value[i] = achieved(w, sim::Mapping({all[i]}));
+  }
+
+  const sim::RelaxedBound bound(nets, analytic()->cost_model());
+  util::Rng rng(42);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Assignment& base = all[rng.below(all.size())];
+    std::vector<sim::PartialAssignment> partial(1);
+    partial[0].assign(layers, sim::kLayerUnassigned);
+    // Keep each committed position with probability 1/2.
+    std::vector<bool> committed(layers);
+    for (std::size_t l = 0; l < layers; ++l) {
+      committed[l] = rng.below(2) == 0;
+      if (committed[l])
+        partial[0][l] = static_cast<std::int8_t>(base[l]);
+    }
+    const double ub = bound.upper_bound(partial);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      bool consistent = true;
+      for (std::size_t l = 0; l < layers && consistent; ++l) {
+        consistent = !committed[l] || all[i][l] == base[l];
+      }
+      if (consistent) {
+        ASSERT_GE(ub, value[i])
+            << "trial=" << trial << " completion=" << i
+            << " — relaxed bound fell below a reachable completion";
+      }
+    }
+  }
+}
+
+/// Two-DNN partials with three holes: brute-force the <= 27 completions.
+TEST(RelaxedBound, AdmissibleOverTwoDnnHoleCompletions) {
+  const Workload w{{ModelId::kAlexNet, ModelId::kSqueezeNet}};
+  const sim::NetworkList nets = w.resolve(zoo());
+  const auto counts = w.layer_counts(zoo());
+  const sim::RelaxedBound bound(nets, analytic()->cost_model());
+
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Start from a random stage-valid complete mapping, punch three holes.
+    const sim::Mapping base = workload::random_mapping(rng, zoo(), w, 3);
+    std::vector<sim::PartialAssignment> partial(counts.size());
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      partial[d].resize(counts[d]);
+      for (std::size_t l = 0; l < counts[d]; ++l)
+        partial[d][l] = static_cast<std::int8_t>(base.assignment(d)[l]);
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> holes;
+    while (holes.size() < 3) {
+      const std::size_t d = rng.below(counts.size());
+      const std::size_t l = rng.below(counts[d]);
+      if (partial[d][l] != sim::kLayerUnassigned) {
+        partial[d][l] = sim::kLayerUnassigned;
+        holes.emplace_back(d, l);
+      }
+    }
+    const double ub = bound.upper_bound(partial);
+
+    // The bound ignores the stage limit, so it must dominate every one of
+    // the 27 completions, stage-valid or not.
+    for (int combo = 0; combo < 27; ++combo) {
+      std::vector<Assignment> per_dnn;
+      per_dnn.reserve(counts.size());
+      for (std::size_t d = 0; d < counts.size(); ++d)
+        per_dnn.push_back(base.assignment(d));
+      int rest = combo;
+      for (const auto& [d, l] : holes) {
+        per_dnn[d][l] = static_cast<ComponentId>(rest % 3);
+        rest /= 3;
+      }
+      const double got = achieved(w, sim::Mapping(std::move(per_dnn)));
+      ASSERT_GE(ub, got) << "trial=" << trial << " combo=" << combo;
+    }
+  }
+}
+
+TEST(RelaxedBound, CompleteMappingStillBoundsItsOwnValue) {
+  // Degenerate partial with no holes: the relaxation (no contention, no DRAM
+  // wall) must still sit at or above the exact evaluation.
+  const Workload w{{ModelId::kVgg19, ModelId::kMobileNet}};
+  const sim::NetworkList nets = w.resolve(zoo());
+  const auto counts = w.layer_counts(zoo());
+  util::Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    const sim::Mapping m = workload::random_mapping(rng, zoo(), w, 3);
+    std::vector<sim::PartialAssignment> partial(counts.size());
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      partial[d].resize(counts[d]);
+      for (std::size_t l = 0; l < counts[d]; ++l)
+        partial[d][l] = static_cast<std::int8_t>(m.assignment(d)[l]);
+    }
+    EXPECT_GE(sim::relaxed_throughput_bound(nets, partial,
+                                            analytic()->cost_model()),
+              achieved(w, m))
+        << "trial=" << trial;
+  }
 }
 
 TEST_F(TinyWorkloadOptimality, InformedSearchesReachReasonableFraction) {

@@ -43,6 +43,7 @@ EXPECTED = [
     "fig5_throughput_mix3",
     "fig5_throughput_mix4",
     "fig5_throughput_mix5",
+    "optimality_gap",
     "parallel_mcts",
     "runtime_overhead",
     "runtime_overhead_batching",

@@ -34,6 +34,7 @@
 #include "nn/kernel.hpp"
 #include "nn/loss.hpp"
 #include "sched/baseline.hpp"
+#include "sched/bnb.hpp"
 #include "sched/ga.hpp"
 #include "sched/greedy.hpp"
 #include "sched/local_search.hpp"
@@ -80,7 +81,7 @@ std::unique_ptr<core::IScheduler> make_scheduler(
     std::shared_ptr<const core::ThroughputEstimator> estimator,
     std::size_t budget, std::size_t depth, std::size_t batch,
     std::uint64_t seed, double rollout_fraction = 0.4,
-    bool slo_hard_prune = false) {
+    bool slo_hard_prune = false, double bnb_timeout_ms = 0.0) {
   if (kind == "omniboost") {
     core::OmniBoostConfig cfg;
     cfg.mcts.budget = budget;
@@ -108,6 +109,12 @@ std::unique_ptr<core::IScheduler> make_scheduler(
   if (kind == "greedy") {
     return std::make_unique<sched::GreedyScheduler>(zoo, device);
   }
+  if (kind == "bnb") {
+    sched::BnbConfig cfg;
+    cfg.timeout_ms = bnb_timeout_ms;
+    return std::make_unique<sched::BranchAndBoundScheduler>("BnB", zoo, device,
+                                                            cfg);
+  }
   if (kind == "random") {
     sched::LocalSearchConfig cfg;
     cfg.budget = budget;
@@ -130,10 +137,12 @@ std::unique_ptr<core::IScheduler> make_scheduler(
   }
   throw std::invalid_argument(
       "unknown scheduler '" + kind +
-      "' (omniboost|baseline|mosaic|ga|greedy|random|annealing)");
+      "' (omniboost|baseline|mosaic|ga|greedy|bnb|random|annealing)");
 }
 
-/// True when \p kind queries the trained throughput estimator.
+/// True when \p kind queries the trained throughput estimator. BnB reasons
+/// over the analytic model directly (its bound must be admissible w.r.t. a
+/// deterministic objective), so it never trains one.
 bool needs_estimator(const std::string& kind) {
   return kind == "omniboost" || kind == "random" || kind == "annealing";
 }
@@ -142,9 +151,13 @@ bool needs_estimator(const std::string& kind) {
 /// helper so defaults and help text cannot drift between the two parsers.
 void declare_common_options(util::ArgParser& args) {
   args.option("scheduler",
-              "omniboost|baseline|mosaic|ga|greedy|random|annealing",
+              "omniboost|baseline|mosaic|ga|greedy|bnb|random|annealing",
               "omniboost")
       .option("budget", "search budget (estimator queries)", "500")
+      .option("bnb-timeout-ms",
+              "branch-and-bound wall-clock budget in ms; 0 = run to a proved "
+              "optimum (only sane on small mixes)",
+              "0")
       .option("depth", "MCTS tree-expansion depth limit", "100")
       .option("batch", "leaf evaluations per batched estimator query", "1")
       .option("samples", "estimator training workloads", "500")
@@ -269,11 +282,15 @@ int run(int argc, char** argv) {
   }
 
   // --- Run time: one scheduling decision plus a board measurement.
+  const double bnb_timeout_ms = args.get_double("bnb-timeout-ms");
+  if (bnb_timeout_ms < 0.0)
+    throw std::invalid_argument("--bnb-timeout-ms must be >= 0");
   auto scheduler = make_scheduler(
       scheduler_kind, zoo, device, embedding, estimator,
       static_cast<std::size_t>(args.get_int("budget")),
       static_cast<std::size_t>(args.get_int("depth")),
-      static_cast<std::size_t>(args.get_int("batch")), seed);
+      static_cast<std::size_t>(args.get_int("batch")), seed, 0.4, false,
+      bnb_timeout_ms);
   const core::ScheduleResult result = scheduler->schedule(w);
 
   const auto nets = w.resolve(zoo);
@@ -299,6 +316,18 @@ int run(int argc, char** argv) {
     out.set("decision_seconds", util::Json::number(result.decision_seconds));
     out.set("evaluations", util::Json::number(result.evaluations));
     out.set("cache_hits", util::Json::number(result.cache_hits));
+    // Bound certificate (branch-and-bound only): the analytic objective of
+    // the returned mapping lies in [lower_bound, upper_bound].
+    if (result.lower_bound)
+      out.set("lower_bound_inf_s", util::Json::number(*result.lower_bound));
+    if (result.upper_bound)
+      out.set("upper_bound_inf_s", util::Json::number(*result.upper_bound));
+    if (result.proved_optimal)
+      out.set("proved_optimal", util::Json::boolean(*result.proved_optimal));
+    if (result.nodes_expanded)
+      out.set("nodes_expanded",
+              util::Json::number(
+                  static_cast<double>(*result.nodes_expanded)));
     util::Json dnns = util::Json::array();
     for (std::size_t d = 0; d < w.size(); ++d) {
       util::Json j = util::Json::object();
@@ -339,6 +368,14 @@ int run(int argc, char** argv) {
               scheduler->name().c_str());
   std::printf("decision: %.3f s (%zu evaluator queries, %zu memo hits)\n",
               result.decision_seconds, result.evaluations, result.cache_hits);
+  if (result.lower_bound && result.upper_bound) {
+    std::printf("bound certificate: analytic objective in [%.3f, %.3f] inf/s "
+                "(%s, %zu nodes)\n",
+                *result.lower_bound, *result.upper_bound,
+                result.proved_optimal.value_or(false) ? "proved optimal"
+                                                      : "budget exhausted",
+                result.nodes_expanded.value_or(0));
+  }
   if (!measured.feasible) {
     std::printf("RESULT: workload exceeds board memory (unresponsive)\n");
     return 1;
@@ -480,12 +517,16 @@ int run_serve(int argc, char** argv) {
                                   design_workers, as_json);
   }
 
+  const double bnb_timeout_ms = args.get_double("bnb-timeout-ms");
+  if (bnb_timeout_ms < 0.0)
+    throw std::invalid_argument("--bnb-timeout-ms must be >= 0");
   auto scheduler = make_scheduler(
       scheduler_kind, zoo, device, embedding, estimator,
       static_cast<std::size_t>(args.get_int("budget")),
       static_cast<std::size_t>(args.get_int("depth")),
       static_cast<std::size_t>(args.get_int("batch")), seed,
-      args.get_double("rollout-fraction"), args.get_flag("slo-hard-prune"));
+      args.get_double("rollout-fraction"), args.get_flag("slo-hard-prune"),
+      bnb_timeout_ms);
 
   // --- Serve.
   const double migration_cost = args.get_double("migration-cost");
