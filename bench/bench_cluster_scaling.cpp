@@ -1,0 +1,110 @@
+/// \file bench_cluster_scaling.cpp
+/// Fleet-scale serving: how does served throughput scale with fleet size at
+/// a fixed offered load, and which placement policy extracts the most out of
+/// a heterogeneous fleet?
+///
+/// The sweep draws one Poisson arrival scenario per offered-load level
+/// (seeded, so every fleet size and policy replays the identical stream of
+/// arrivals/departures), then routes it through core::Cluster fleets of
+/// 1..4 heterogeneous boards under each placement policy, with a
+/// per-board Greedy scheduler (deterministic, microsecond decisions — the
+/// sweep isolates ROUTING quality, not search quality).
+///
+/// Shapes to look for: at a fixed offered load, fleet throughput grows with
+/// fleet size until the fleet absorbs the load (then flattens — extra boards
+/// idle); rejections fall toward zero as boards are added; best-estimated-T
+/// routes proportionally more streams onto the pro boards than least-loaded
+/// does at equal fleet size.
+///
+/// Table: cluster_scaling (BENCH_cluster_scaling.json).
+
+#include "bench_common.hpp"
+
+#include "core/cluster.hpp"
+#include "sched/greedy.hpp"
+#include "util/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/scenario.hpp"
+
+using namespace omniboost;
+
+namespace {
+
+struct LoadLevel {
+  const char* name;
+  double rate_per_s;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeed = 29;
+  bench::banner("cluster scaling — fleet size x offered load x placement",
+                "beyond the paper: fleet-scale serving", kSeed);
+
+  const models::ModelZoo zoo;
+  const double horizon_s =
+      static_cast<double>(bench::scaled(120, 15));
+  const std::size_t max_fleet = bench::scaled(4, 2);
+
+  const LoadLevel levels[] = {
+      {"light", 0.2},
+      {"medium", 0.5},
+      {"heavy", 1.0},
+  };
+
+  util::Table table({"offered load", "rate/s", "boards", "policy", "offered",
+                     "admitted", "rejected %", "fleet T inf/s", "migrations",
+                     "decisions"});
+
+  std::size_t level_index = 0;
+  for (const LoadLevel& level : levels) {
+    workload::ArrivalProcess p;
+    p.rate_per_s = level.rate_per_s;
+    p.mean_lifetime_s = 12.0;
+    p.max_concurrent = models::kNumModels;
+    p.slo_fraction = 0.25;
+    util::Rng rng(util::fork_stream(kSeed, level_index++));
+    const workload::Scenario scenario =
+        workload::sample_scenario(p, horizon_s, rng);
+    std::printf("--- offered load %s (%.2f arrivals/s): %s ---\n", level.name,
+                level.rate_per_s, scenario.describe().c_str());
+    if (scenario.empty()) {
+      std::printf("(empty scenario at this horizon; skipping level)\n\n");
+      continue;
+    }
+
+    for (std::size_t n = 1; n <= max_fleet; ++n) {
+      const core::Cluster cluster(zoo, core::make_heterogeneous_fleet(n),
+                                  core::ClusterConfig{});
+      const core::SchedulerFactory factory =
+          [&](std::size_t i) -> std::unique_ptr<core::IScheduler> {
+        return std::make_unique<sched::GreedyScheduler>(
+            zoo, cluster.boards()[i].device);
+      };
+      for (const std::string& kind : core::placement_policy_kinds()) {
+        const auto policy = core::make_placement_policy(kind);
+        const core::ClusterReport rep =
+            cluster.run(factory, scenario, *policy);
+        table.add_row({level.name, util::fmt(level.rate_per_s, 2),
+                       std::to_string(n), kind,
+                       std::to_string(rep.offered_streams),
+                       std::to_string(rep.admitted_streams),
+                       util::fmt(100.0 * rep.rejection_rate, 1),
+                       util::fmt(rep.fleet_throughput, 3),
+                       std::to_string(rep.migrations),
+                       std::to_string(rep.decisions)});
+      }
+      // One progress line per fleet size (the last policy's numbers).
+      std::printf("  %zu board%s swept across %zu policies\n", n,
+                  n == 1 ? "" : "s", core::placement_policy_kinds().size());
+    }
+    std::printf("\n");
+  }
+
+  bench::report("cluster_scaling", table);
+  std::printf("\ncheck: at each offered load, fleet T inf/s rises with fleet "
+              "size until the load is absorbed, and the rejected %% column "
+              "falls toward zero\n");
+  return 0;
+}

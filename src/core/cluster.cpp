@@ -1,0 +1,331 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "device/cost_model.hpp"
+#include "util/require.hpp"
+
+namespace omniboost::core {
+
+namespace {
+
+/// Streams currently on a board, resolved against the zoo.
+sim::NetworkList resolve_present(const models::ModelZoo& zoo,
+                                 const std::vector<models::ModelId>& present) {
+  sim::NetworkList nets;
+  nets.reserve(present.size());
+  for (const models::ModelId id : present) nets.push_back(&zoo.network(id));
+  return nets;
+}
+
+class LeastLoadedPolicy final : public IPlacementPolicy {
+ public:
+  std::string name() const override { return "least-loaded"; }
+  std::size_t place(const workload::ScenarioEvent&,
+                    const models::NetworkDesc&,
+                    const std::vector<BoardView>& boards,
+                    const std::vector<std::size_t>& admissible) override {
+    std::size_t best = admissible.front();
+    for (const std::size_t i : admissible)
+      if (boards[i].streams < boards[best].streams) best = i;
+    return best;
+  }
+};
+
+class BestEstimatedTPolicy final : public IPlacementPolicy {
+ public:
+  std::string name() const override { return "best-t"; }
+  std::size_t place(const workload::ScenarioEvent&,
+                    const models::NetworkDesc& net,
+                    const std::vector<BoardView>& boards,
+                    const std::vector<std::size_t>& admissible) override {
+    // Estimated post-placement utilization: compute demand over capacity.
+    // The board that stays least utilized serves the highest T per stream.
+    const auto utilization = [&](std::size_t i) {
+      return (boards[i].load_flops + net.total_flops()) /
+             std::max(boards[i].peak_gflops, 1e-12);
+    };
+    std::size_t best = admissible.front();
+    for (const std::size_t i : admissible)
+      if (utilization(i) < utilization(best)) best = i;
+    return best;
+  }
+};
+
+class MemoryHeadroomPolicy final : public IPlacementPolicy {
+ public:
+  std::string name() const override { return "memory-headroom"; }
+  std::size_t place(const workload::ScenarioEvent&,
+                    const models::NetworkDesc&,
+                    const std::vector<BoardView>& boards,
+                    const std::vector<std::size_t>& admissible) override {
+    std::size_t best = admissible.front();
+    for (const std::size_t i : admissible)
+      if (boards[i].memory_headroom_bytes > boards[best].memory_headroom_bytes)
+        best = i;
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IPlacementPolicy> make_placement_policy(
+    const std::string& kind) {
+  if (kind == "least-loaded") return std::make_unique<LeastLoadedPolicy>();
+  if (kind == "best-t") return std::make_unique<BestEstimatedTPolicy>();
+  if (kind == "memory-headroom")
+    return std::make_unique<MemoryHeadroomPolicy>();
+  throw std::invalid_argument(
+      "make_placement_policy: unknown kind '" + kind +
+      "' (expected least-loaded | best-t | memory-headroom)");
+}
+
+const std::vector<std::string>& placement_policy_kinds() {
+  static const std::vector<std::string> kinds = {"least-loaded", "best-t",
+                                                 "memory-headroom"};
+  return kinds;
+}
+
+double board_memory_lower_bound_bytes(const device::CostModel& cost,
+                                      const sim::NetworkList& nets) {
+  double bytes = cost.device().per_stream_overhead_bytes *
+                 static_cast<double>(nets.size());
+  for (const models::NetworkDesc* net : nets) {
+    OB_REQUIRE(net != nullptr && !net->layers.empty(),
+               "board_memory_lower_bound_bytes: empty network");
+    // One segment spanning the whole network is the residency minimum: any
+    // split repeats the largest-activation term per segment.
+    bytes += cost.segment_working_set_bytes(*net, 0, net->num_layers() - 1);
+  }
+  return bytes;
+}
+
+double solo_latency_floor_s(const device::CostModel& cost,
+                            const models::NetworkDesc& net) {
+  double floor_s = cost.device().per_inference_overhead_s;
+  for (const models::LayerDesc& layer : net.layers) {
+    double best = cost.layer_time(layer, device::kAllComponents[0]);
+    for (std::size_t c = 1; c < device::kNumComponents; ++c)
+      best = std::min(best, cost.layer_time(layer, device::kAllComponents[c]));
+    floor_s += best;
+  }
+  return floor_s;
+}
+
+Cluster::Cluster(const models::ModelZoo& zoo, std::vector<BoardSpec> boards,
+                 ClusterConfig config)
+    : zoo_(&zoo), boards_(std::move(boards)), config_(config) {
+  OB_REQUIRE(!boards_.empty(), "Cluster: at least one board required");
+  sims_.reserve(boards_.size());
+  for (const BoardSpec& b : boards_)
+    sims_.push_back(std::make_unique<sim::DesSimulator>(b.device, config_.des));
+}
+
+ClusterReport Cluster::run(const SchedulerFactory& make_scheduler,
+                           const workload::Scenario& scenario,
+                           IPlacementPolicy& policy) const {
+  OB_REQUIRE(!scenario.empty(), "Cluster::run: empty scenario");
+  OB_REQUIRE(static_cast<bool>(make_scheduler),
+             "Cluster::run: null scheduler factory");
+
+  const std::size_t n = boards_.size();
+  std::vector<std::unique_ptr<IScheduler>> schedulers;
+  std::vector<ServingSession> sessions;
+  schedulers.reserve(n);
+  sessions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    schedulers.push_back(make_scheduler(i));
+    OB_REQUIRE(schedulers.back() != nullptr,
+               "Cluster::run: scheduler factory returned null");
+    sessions.emplace_back(*zoo_, *sims_[i], config_.serving);
+  }
+
+  ClusterReport report;
+  report.board_names.reserve(n);
+  for (const BoardSpec& b : boards_) report.board_names.push_back(b.name);
+
+  // Stream location: which board holds each model's stream (mixes are
+  // globally duplicate-free, so ModelId keys the stream), npos = absent.
+  constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> location(models::kNumModels, kAbsent);
+  std::vector<bool> rejected(models::kNumModels, false);
+
+  // Live views for the placement policy (and the admission headroom).
+  const auto make_views = [&]() {
+    std::vector<BoardView> views(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      BoardView& v = views[i];
+      v.index = i;
+      v.device = &boards_[i].device;
+      v.streams = sessions[i].present().size();
+      v.load_flops = 0.0;
+      for (const models::ModelId id : sessions[i].present())
+        v.load_flops += zoo_->network(id).total_flops();
+      v.peak_gflops = 0.0;
+      for (const device::ComponentSpec& c : boards_[i].device.components)
+        v.peak_gflops += c.peak_gflops;
+      const sim::NetworkList nets =
+          resolve_present(*zoo_, sessions[i].present());
+      v.memory_headroom_bytes =
+          boards_[i].device.memory_budget_bytes -
+          board_memory_lower_bound_bytes(sims_[i]->cost_model(), nets);
+      v.last_measured_throughput = sessions[i].last_measured_throughput();
+    }
+    return views;
+  };
+
+  // True when board \p i can possibly serve \p net on top of its current
+  // residency within the arrival's SLO (if any).
+  const auto admits = [&](std::size_t i, const models::NetworkDesc& net,
+                          double slo_s) {
+    if (config_.admit_all) return true;
+    sim::NetworkList nets = resolve_present(*zoo_, sessions[i].present());
+    nets.push_back(&net);
+    if (board_memory_lower_bound_bytes(sims_[i]->cost_model(), nets) >
+        boards_[i].device.memory_budget_bytes)
+      return false;
+    if (slo_s > 0.0 &&
+        solo_latency_floor_s(sims_[i]->cost_model(), net) > slo_s)
+      return false;
+    return true;
+  };
+
+  // Prices moving \p net's weights onto another board over the fleet
+  // network (the intra-board model's per-segment overhead applies once —
+  // the whole network re-instantiates as one download).
+  const auto cross_board_stall = [&](const models::NetworkDesc& net) {
+    return net.total_weight_bytes() / (config_.cross_board_gbps * 1e9) +
+           config_.serving.migration.per_segment_overhead_s;
+  };
+
+  for (const workload::ScenarioEvent& e : scenario.events()) {
+    if (e.kind == workload::ScenarioEventKind::kDepart) {
+      const std::size_t idx = models::model_index(e.model);
+      if (rejected[idx]) {
+        // The stream never made it onto a board; its departure is a no-op.
+        rejected[idx] = false;
+        ++report.rejected_departures;
+        continue;
+      }
+      const std::size_t board = location[idx];
+      OB_REQUIRE(board != kAbsent,
+                 "Cluster::run: departure of an untracked stream");
+      sessions[board].apply(*schedulers[board], e);
+      location[idx] = kAbsent;
+      ++report.departures;
+      continue;
+    }
+
+    // Arrival: admit, place, serve — or reject.
+    ++report.offered_streams;
+    const models::NetworkDesc& net = zoo_->network(e.model);
+    const double slo_s = e.slo_ms / 1e3;
+
+    std::vector<std::size_t> admissible;
+    for (std::size_t i = 0; i < n; ++i)
+      if (admits(i, net, slo_s)) admissible.push_back(i);
+    if (admissible.empty()) {
+      rejected[models::model_index(e.model)] = true;
+      ++report.rejected_streams;
+      continue;
+    }
+
+    const std::vector<BoardView> views = make_views();
+    const std::size_t board = policy.place(e, net, views, admissible);
+    OB_REQUIRE(std::find(admissible.begin(), admissible.end(), board) !=
+                   admissible.end(),
+               "Cluster::run: policy placed outside the admissible set");
+    const EpochReport& ep = sessions[board].apply(*schedulers[board], e);
+    location[models::model_index(e.model)] = board;
+    ++report.admitted_streams;
+
+    // Rescue: the arrival saturated its board (DES says the mix is not
+    // serveable there). Move the arriving stream — the cheapest victim, its
+    // weights are the only ones not yet resident anywhere — to another
+    // admitting board, pricing the cross-board weight transfer as a one-off
+    // start stall on its first epoch there.
+    if (config_.migrate && !ep.feasible && n > 1) {
+      std::vector<std::size_t> targets;
+      for (std::size_t i = 0; i < n; ++i)
+        if (i != board && admits(i, net, slo_s)) targets.push_back(i);
+      if (!targets.empty()) {
+        const double stall_s = cross_board_stall(net);
+        if (config_.max_migration_stall_s <= 0.0 ||
+            stall_s <= config_.max_migration_stall_s) {
+          const std::size_t target =
+              policy.place(e, net, make_views(), targets);
+          OB_REQUIRE(std::find(targets.begin(), targets.end(), target) !=
+                         targets.end(),
+                     "Cluster::run: policy placed outside the target set");
+          workload::ScenarioEvent leave = e;
+          leave.kind = workload::ScenarioEventKind::kDepart;
+          leave.slo_ms = 0.0;  // departures never carry an SLO
+          sessions[board].apply(*schedulers[board], leave);
+          sessions[target].apply(*schedulers[target], e, stall_s);
+          location[models::model_index(e.model)] = target;
+          ++report.migrations;
+          report.cross_board_stall_s += stall_s;
+          report.cross_board_weight_bytes += net.total_weight_bytes();
+        }
+      }
+    }
+  }
+
+  for (ServingSession& s : sessions) report.boards.push_back(s.finish());
+  for (const ServingReport& b : report.boards) {
+    report.decisions += b.decisions;
+    report.total_decision_seconds += b.total_decision_seconds;
+    report.fleet_throughput += b.mean_throughput;
+    report.total_slo_streams += b.total_slo_streams;
+    report.total_slo_violations += b.total_slo_violations;
+    report.total_evaluations += b.total_evaluations;
+    report.total_cache_hits += b.total_cache_hits;
+    report.total_migrated_segments += b.total_migrated_segments;
+    report.total_migration_stall_s += b.total_migration_stall_s;
+  }
+  if (report.offered_streams > 0)
+    report.rejection_rate = static_cast<double>(report.rejected_streams) /
+                            static_cast<double>(report.offered_streams);
+  return report;
+}
+
+std::vector<BoardSpec> make_heterogeneous_fleet(std::size_t n) {
+  OB_REQUIRE(n > 0, "make_heterogeneous_fleet: n must be > 0");
+  std::vector<BoardSpec> fleet;
+  fleet.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    device::DeviceSpec spec = device::make_hikey970();
+    std::string variant;
+    switch (i % 3) {
+      case 0:
+        variant = "hikey970";
+        break;
+      case 1: {
+        variant = "hikey970-pro";
+        for (device::ComponentSpec& c : spec.components) {
+          c.peak_gflops *= 1.5;
+          c.mem_bw_gbps *= 1.3;
+        }
+        spec.dram_bw_gbps *= 1.3;
+        spec.memory_budget_bytes *= 1.5;
+        break;
+      }
+      default: {
+        variant = "hikey970-lite";
+        for (device::ComponentSpec& c : spec.components) {
+          c.peak_gflops *= 0.6;
+          c.mem_bw_gbps *= 0.8;
+        }
+        spec.dram_bw_gbps *= 0.8;
+        spec.memory_budget_bytes *= 0.75;
+        break;
+      }
+    }
+    spec.name = variant;
+    fleet.push_back(BoardSpec{variant + "-" + std::to_string(i), spec});
+  }
+  return fleet;
+}
+
+}  // namespace omniboost::core

@@ -1,0 +1,204 @@
+#pragma once
+/// \file cluster.hpp
+/// Fleet-scale serving: a Cluster routes one global workload::Scenario
+/// across N heterogeneous boards, each running its own DES simulator,
+/// scheduler, and ServingSession (the exact single-board epoch engine —
+/// a 1-board cluster replays a scenario bit-identically to ServingRuntime,
+/// pinned by tests/cluster_test.cpp).
+///
+/// Responsibilities split three ways:
+///  - *Admission*: an arrival is rejected outright when NO board can
+///    possibly serve it — the memory lower bound (resident working sets +
+///    per-stream framework overhead, mirroring sim's build_scene
+///    accounting) would overflow every board's budget, or the stream's SLO
+///    is below every board's solo-latency floor (an admissible bound: the
+///    sum over layers of the best-component uncontended time, plus the
+///    per-inference overhead). Rejected streams never reach a board; their
+///    later departures are swallowed and counted.
+///  - *Placement*: among the boards that admit, a pluggable
+///    IPlacementPolicy picks one (least-loaded / best-estimated-T /
+///    memory-headroom). Policies are pure functions of the BoardViews, so
+///    routing is deterministic and replayable.
+///  - *Rescue migration*: when an admitted arrival leaves its board
+///    infeasible (the DES measured epoch reports feasible == false), the
+///    cluster moves the arriving stream to another admitting board, pricing
+///    the move as a cross-board weight transfer (total_weight_bytes over
+///    cross_board_gbps, plus the migration model's per-segment overhead)
+///    charged to the stream's first epoch on the new board as a one-off DES
+///    start stall. Cross-board costs are fleet-level accounting
+///    (ClusterReport) — per-board EpochReport migration fields stay
+///    intra-board.
+///
+/// See docs/ARCHITECTURE.md "Cluster & placement".
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/serving.hpp"
+#include "device/device.hpp"
+#include "sim/des.hpp"
+
+namespace omniboost::core {
+
+/// One board of the fleet: a display name plus its device model
+/// (heterogeneous specs typically come from device::profile files or
+/// make_heterogeneous_fleet()).
+struct BoardSpec {
+  std::string name;
+  device::DeviceSpec device;
+};
+
+/// Read-only snapshot of one board's live state, handed to placement
+/// policies for every routing decision.
+struct BoardView {
+  std::size_t index = 0;               ///< board index in the fleet
+  const device::DeviceSpec* device = nullptr;
+  std::size_t streams = 0;             ///< streams currently serving
+  double load_flops = 0.0;             ///< summed total_flops of those streams
+  double peak_gflops = 0.0;            ///< summed component peaks (capacity)
+  double memory_headroom_bytes = 0.0;  ///< budget minus the residency bound
+  /// DES throughput the board's most recent epoch measured (0 when idle).
+  double last_measured_throughput = 0.0;
+};
+
+/// Routing strategy contract: given the arrival, its network, every board's
+/// view, and the (non-empty) set of admitting board indices, return one of
+/// the admissible indices. Must be deterministic — the cluster pins
+/// byte-identical reports across repeated runs for every policy.
+class IPlacementPolicy {
+ public:
+  virtual ~IPlacementPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t place(const workload::ScenarioEvent& arrival,
+                            const models::NetworkDesc& net,
+                            const std::vector<BoardView>& boards,
+                            const std::vector<std::size_t>& admissible) = 0;
+};
+
+/// Built-in policies: "least-loaded" (fewest streams), "best-t" (lowest
+/// estimated utilization (load + arrival) / capacity), "memory-headroom"
+/// (largest residency headroom). Ties break to the lowest board index.
+/// Throws std::invalid_argument on an unknown kind.
+std::unique_ptr<IPlacementPolicy> make_placement_policy(
+    const std::string& kind);
+/// The registered policy kinds, in presentation order.
+const std::vector<std::string>& placement_policy_kinds();
+
+/// Fleet-level controls.
+struct ClusterConfig {
+  /// Per-board serving controls (warm start, intra-board churn-cost model);
+  /// every board shares one config.
+  ServingConfig serving;
+  /// DES controls for every board's simulator.
+  sim::DesConfig des;
+  /// Master switch for rescue migration off an infeasible board.
+  bool migrate = true;
+  /// Effective cross-board weight-transfer bandwidth (GB/s) — fleets move
+  /// weights over a network, not the on-chip link, so this is priced on top
+  /// of the per-segment overhead of ServingConfig::migration (which applies
+  /// its default even when the intra-board model is disabled).
+  double cross_board_gbps = 1.0;
+  /// Rescue migrations whose priced stall exceeds this are skipped
+  /// (0 = no cap).
+  double max_migration_stall_s = 0.0;
+  /// Bypasses admission entirely (every arrival routes; nothing is
+  /// rejected). The single-board equivalence pin uses this to guarantee the
+  /// cluster replays exactly what ServingRuntime would.
+  bool admit_all = false;
+};
+
+/// Per-board reports plus the fleet-level aggregates the benches compare.
+struct ClusterReport {
+  std::vector<std::string> board_names;
+  std::vector<ServingReport> boards;  ///< index-aligned with board_names
+
+  /// Offered-vs-served load: every scenario arrival is offered; it is
+  /// either admitted to exactly one board or rejected (conservation is
+  /// pinned by tests/cluster_test.cpp).
+  std::size_t offered_streams = 0;
+  std::size_t admitted_streams = 0;
+  std::size_t rejected_streams = 0;
+  double rejection_rate = 0.0;  ///< rejected / offered (0 when none offered)
+  std::size_t departures = 0;   ///< departures applied to a board
+  std::size_t rejected_departures = 0;  ///< departures of rejected streams
+
+  /// Rescue-migration accounting (fleet-level; see file header).
+  std::size_t migrations = 0;
+  double cross_board_stall_s = 0.0;
+  double cross_board_weight_bytes = 0.0;
+
+  /// Sums over the per-board reports (equality with the sum is pinned).
+  std::size_t decisions = 0;
+  double total_decision_seconds = 0.0;
+  /// Served capacity proxy: sum of per-board mean DES throughput.
+  double fleet_throughput = 0.0;
+  std::size_t total_slo_streams = 0;
+  std::size_t total_slo_violations = 0;
+  std::size_t total_evaluations = 0;
+  std::size_t total_cache_hits = 0;
+  std::size_t total_migrated_segments = 0;
+  double total_migration_stall_s = 0.0;
+};
+
+/// Builds one scheduler per board at the start of a run (boards keep
+/// independent warm state, so they cannot share one instance).
+using SchedulerFactory =
+    std::function<std::unique_ptr<IScheduler>(std::size_t board_index)>;
+
+/// Residency lower bound for a set of streams on a board: per-stream
+/// framework overhead plus each network's single-segment working set
+/// (weights + largest activation). No mapping can use less, so
+/// "bound > memory_budget_bytes" soundly rejects. Mirrors
+/// sim::build_scene's accounting; exposed for tests and policies.
+double board_memory_lower_bound_bytes(const device::CostModel& cost,
+                                      const sim::NetworkList& nets);
+
+/// Admissible solo-latency floor of one network on one board: the
+/// per-inference overhead plus the sum over layers of the best-component
+/// uncontended time. A stream whose SLO is below this floor cannot meet it
+/// on that board under ANY mapping or load. Exposed for tests.
+double solo_latency_floor_s(const device::CostModel& cost,
+                            const models::NetworkDesc& net);
+
+/// N boards behind one admission/placement layer.
+class Cluster {
+ public:
+  /// \param zoo     dataset networks backing every board's mixes
+  /// \param boards  fleet specs (non-empty; names should be unique)
+  Cluster(const models::ModelZoo& zoo, std::vector<BoardSpec> boards,
+          ClusterConfig config = {});
+
+  /// Replays \p scenario across the fleet: arrivals are admitted, routed by
+  /// \p policy, and served through each board's own ServingSession;
+  /// departures resolve to whichever board holds the stream. Deterministic:
+  /// the same (fleet, config, scheduler factory, scenario, policy) always
+  /// produces the byte-identical report.
+  ClusterReport run(const SchedulerFactory& make_scheduler,
+                    const workload::Scenario& scenario,
+                    IPlacementPolicy& policy) const;
+
+  std::size_t size() const { return boards_.size(); }
+  const std::vector<BoardSpec>& boards() const { return boards_; }
+  const ClusterConfig& config() const { return config_; }
+  /// The board simulators (index-aligned with boards(); exposed so drivers
+  /// can reuse them for per-board embeddings/estimators).
+  const sim::DesSimulator& board_sim(std::size_t index) const {
+    return *sims_[index];
+  }
+
+ private:
+  const models::ModelZoo* zoo_;
+  std::vector<BoardSpec> boards_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<sim::DesSimulator>> sims_;
+};
+
+/// A stock heterogeneous fleet for benches and quickstarts: cycles
+/// hikey970 (stock) / -pro (1.5x compute, 1.5x memory) / -lite (0.6x
+/// compute, 0.75x memory) variants, names suffixed with the board index.
+std::vector<BoardSpec> make_heterogeneous_fleet(std::size_t n);
+
+}  // namespace omniboost::core

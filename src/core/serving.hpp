@@ -8,6 +8,14 @@
 /// surviving layers whose component assignment moved). This is the layer
 /// that turns the paper's one-shot decision into a serving loop; see
 /// docs/ARCHITECTURE.md "Serving runtime".
+///
+/// Two entry points share one epoch engine:
+///  - ServingRuntime::run(scheduler, scenario) — the batch replay loop;
+///  - ServingSession — the same loop opened up event-by-event, so a driver
+///    that interleaves several boards (core::Cluster) can feed each board
+///    its own event stream through the *identical* code path. A run() call
+///    is exactly "construct a session, apply every event, finish()", so the
+///    two are bit-identical by construction (pinned by tests/cluster_test).
 
 #include <cstddef>
 #include <string>
@@ -64,7 +72,9 @@ struct EpochReport {
   std::size_t slo_violations = 0;  ///< of those, streams that broke it
   /// Migration-stall accounting (all zeros when ServingConfig::migration is
   /// disabled, when nothing moved, or on cold-start epochs): the one-off
-  /// cost charged to this epoch's measurement.
+  /// cost charged to this epoch's measurement. Intra-board only — the
+  /// cross-board transfer stall a Cluster charges a migrated-in stream is
+  /// accounted at fleet level (ClusterReport), not here.
   std::size_t migrated_segments = 0;
   double migration_weight_bytes = 0.0;
   double migration_stall_s = 0.0;  ///< summed over streams
@@ -103,6 +113,80 @@ double mapping_churn(const sim::Mapping& previous,
                      const sim::Mapping& next,
                      std::size_t* surviving_layers = nullptr,
                      std::size_t* moved_layers = nullptr);
+
+/// One board's serving loop opened up event-by-event.
+///
+/// Holds exactly the state ServingRuntime::run keeps between events (the
+/// present mix with SLOs, the previous workload/mapping, the running
+/// aggregate sums) and applies one ScenarioEvent per call. Events must be
+/// legal for the session's current state (arrive only while absent, depart
+/// only while present, non-decreasing times) — a Scenario guarantees this
+/// for its own stream; a Cluster guarantees it per board by construction.
+class ServingSession {
+ public:
+  /// \param zoo    dataset networks backing every mix
+  /// \param board  DES simulator standing in for the physical board. Held by
+  ///               reference — must outlive the session.
+  ServingSession(const models::ModelZoo& zoo, const sim::DesSimulator& board,
+                 ServingConfig config = {});
+
+  /// Applies one event and serves the epoch that follows it: updates the
+  /// mix, asks \p scheduler for a mapping (schedule() on the first or
+  /// post-idle decision, reschedule() with a full ScheduleContext
+  /// otherwise), measures it on the board, and returns the epoch's report
+  /// (valid until the next apply()).
+  ///
+  /// \param arrival_stall_s one-off extra DES start delay charged to the
+  ///   arriving stream of an arrive event (cross-board weight transfer when
+  ///   a Cluster migrates a stream in). 0.0 — the default and the only value
+  ///   ServingRuntime::run ever passes — leaves the measurement bit-identical
+  ///   to the pre-session runtime. Must be 0.0 for depart events.
+  const EpochReport& apply(IScheduler& scheduler,
+                           const workload::ScenarioEvent& event,
+                           double arrival_stall_s = 0.0);
+
+  /// Finalizes the aggregate means and returns the report for everything
+  /// applied so far. The session stays usable (finish() is a snapshot).
+  ServingReport finish() const;
+
+  /// The streams currently on the board (arrival order), with their SLOs
+  /// (seconds, 0 = none) index-aligned.
+  const std::vector<models::ModelId>& present() const { return present_; }
+  const std::vector<double>& present_slo_s() const { return present_slo_s_; }
+  bool idle() const { return present_.empty(); }
+  std::size_t epochs_applied() const { return report_.epochs.size(); }
+  /// DES throughput measured by the most recent non-idle epoch (0 before
+  /// the first decision or right after an idle epoch) — placement policies
+  /// read this as the board's live load signal.
+  double last_measured_throughput() const { return last_throughput_; }
+  const sim::DesSimulator& board() const { return *board_; }
+  const ServingConfig& config() const { return config_; }
+  const sim::MigrationCostModel& migration_model() const { return migration_; }
+
+ private:
+  const models::ModelZoo* zoo_;
+  const sim::DesSimulator* board_;
+  ServingConfig config_;
+  sim::MigrationCostModel migration_;
+
+  // Serving state: the mix currently on the board (with each stream's SLO,
+  // index-aligned) and its mapping.
+  std::vector<models::ModelId> present_;
+  std::vector<double> present_slo_s_;
+  workload::Workload prev_w_;
+  sim::Mapping prev_mapping_;
+  bool have_prev_ = false;
+
+  // Running aggregates finish() turns into means.
+  std::size_t incremental_ = 0;
+  double incremental_seconds_ = 0.0;
+  double throughput_sum_ = 0.0;
+  std::size_t churn_epochs_ = 0;
+  double churn_sum_ = 0.0;
+  double last_throughput_ = 0.0;
+
+  ServingReport report_;
+};
 
 /// Event loop that serves a Scenario with one scheduler.
 ///

@@ -1,0 +1,261 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace omniboost::workload {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("ArrivalProcess: " + what);
+}
+
+void validate(const ArrivalProcess& p) {
+  if (!(std::isfinite(p.rate_per_s) && p.rate_per_s > 0.0))
+    fail("rate_per_s must be finite and > 0");
+  if (!(std::isfinite(p.mean_lifetime_s) && p.mean_lifetime_s > 0.0))
+    fail("mean_lifetime_s must be finite and > 0");
+  if (p.max_concurrent < 1 || p.max_concurrent > models::kNumModels)
+    fail("max_concurrent must be in [1, kNumModels]");
+  if (p.kind == ArrivalKind::kDiurnal) {
+    if (!(std::isfinite(p.diurnal_period_s) && p.diurnal_period_s > 0.0))
+      fail("diurnal_period_s must be finite and > 0");
+    if (!(std::isfinite(p.diurnal_amplitude) && p.diurnal_amplitude >= 0.0 &&
+          p.diurnal_amplitude <= 1.0))
+      fail("diurnal_amplitude must be in [0, 1]");
+  }
+  if (p.kind == ArrivalKind::kFlashCrowd) {
+    if (!(std::isfinite(p.burst_start_s) && p.burst_start_s >= 0.0))
+      fail("burst_start_s must be finite and >= 0");
+    if (!(std::isfinite(p.burst_width_s) && p.burst_width_s >= 0.0))
+      fail("burst_width_s must be finite and >= 0");
+    if (!(std::isfinite(p.burst_height) && p.burst_height >= 1.0))
+      fail("burst_height must be finite and >= 1");
+  }
+  if (!(std::isfinite(p.slo_fraction) && p.slo_fraction >= 0.0 &&
+        p.slo_fraction <= 1.0))
+    fail("slo_fraction must be in [0, 1]");
+  if (p.slo_fraction > 0.0) {
+    if (!(std::isfinite(p.slo_min_ms) && p.slo_min_ms > 0.0 &&
+          std::isfinite(p.slo_max_ms) && p.slo_max_ms >= p.slo_min_ms))
+      fail("SLO band requires 0 < slo_min_ms <= slo_max_ms");
+  }
+}
+
+/// Exponential draw with the scenario generator's exact idiom:
+/// mean * -log1p(-u), u in [0, 1) — never infinite, zero only at u == 0.
+double exponential(util::Rng& rng, double mean) {
+  return mean * -std::log1p(-rng.uniform());
+}
+
+/// A scheduled stream departure, ordered by (time, insertion seq).
+struct PendingDepart {
+  double time_s;
+  std::size_t seq;
+  models::ModelId model;
+};
+
+}  // namespace
+
+double arrival_rate_at(const ArrivalProcess& p, double t_s) {
+  switch (p.kind) {
+    case ArrivalKind::kPoisson:
+      return p.rate_per_s;
+    case ArrivalKind::kDiurnal:
+      return p.rate_per_s *
+             (1.0 + p.diurnal_amplitude *
+                        std::sin(6.28318530717958648 * t_s /
+                                 p.diurnal_period_s));
+    case ArrivalKind::kFlashCrowd:
+      return (t_s >= p.burst_start_s &&
+              t_s < p.burst_start_s + p.burst_width_s)
+                 ? p.rate_per_s * p.burst_height
+                 : p.rate_per_s;
+  }
+  return p.rate_per_s;  // unreachable
+}
+
+double peak_arrival_rate(const ArrivalProcess& p) {
+  switch (p.kind) {
+    case ArrivalKind::kPoisson:
+      return p.rate_per_s;
+    case ArrivalKind::kDiurnal:
+      return p.rate_per_s * (1.0 + p.diurnal_amplitude);
+    case ArrivalKind::kFlashCrowd:
+      return p.rate_per_s * std::max(1.0, p.burst_height);
+  }
+  return p.rate_per_s;  // unreachable
+}
+
+Scenario sample_scenario(const ArrivalProcess& p, double horizon_s,
+                         util::Rng& rng) {
+  validate(p);
+  if (!(std::isfinite(horizon_s) && horizon_s >= 0.0))
+    fail("horizon_s must be finite and >= 0");
+
+  const double peak = peak_arrival_rate(p);
+  const double mean_gap_s = 1.0 / peak;
+  const bool homogeneous = p.kind == ArrivalKind::kPoisson;
+
+  std::vector<ScenarioEvent> events;
+  std::vector<bool> present(models::kNumModels, false);
+  std::size_t on_board = 0;
+  std::vector<PendingDepart> pending;
+  std::size_t next_seq = 0;
+
+  // Pops every scheduled departure due at or before \p up_to_s, in
+  // (time, seq) order, appending depart events and freeing their slots.
+  const auto flush_departures = [&](double up_to_s) {
+    for (;;) {
+      std::size_t best = pending.size();
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].time_s > up_to_s) continue;
+        if (best == pending.size() ||
+            pending[i].time_s < pending[best].time_s ||
+            (pending[i].time_s == pending[best].time_s &&
+             pending[i].seq < pending[best].seq))
+          best = i;
+      }
+      if (best == pending.size()) return;
+      ScenarioEvent ev;
+      ev.time_s = pending[best].time_s;
+      ev.kind = ScenarioEventKind::kDepart;
+      ev.model = pending[best].model;
+      events.push_back(ev);
+      present[models::model_index(pending[best].model)] = false;
+      --on_board;
+      pending.erase(pending.begin() +
+                    static_cast<std::ptrdiff_t>(best));
+    }
+  };
+
+  // Lewis–Shedler thinning against the constant peak-rate envelope. The
+  // homogeneous (Poisson) path accepts every candidate WITHOUT drawing the
+  // acceptance uniform, so its gaps stay exactly Exponential(rate).
+  double t = 0.0;
+  for (;;) {
+    t += exponential(rng, mean_gap_s);
+    if (t > horizon_s) break;
+    if (!homogeneous && rng.uniform() * peak >= arrival_rate_at(p, t))
+      continue;  // thinned out — not an arrival at all
+
+    // Departures due before this arrival leave first (ties: depart first,
+    // which can free the very slot this arrival needs).
+    flush_departures(t);
+
+    // Capacity: a full board (or exhausted zoo) drops the arrival without
+    // consuming any further draws, so the accepted-arrival draw sequence
+    // depends only on which arrivals were admitted.
+    if (on_board >= p.max_concurrent || on_board >= models::kNumModels)
+      continue;
+
+    // Draw order per admitted arrival (pinned by tests/arrival_test.cpp):
+    // model pick among absent -> lifetime -> optional SLO chance/value.
+    std::vector<models::ModelId> absent;
+    absent.reserve(models::kNumModels - on_board);
+    for (const models::ModelId id : models::kAllModels)
+      if (!present[models::model_index(id)]) absent.push_back(id);
+    const models::ModelId model =
+        absent[static_cast<std::size_t>(rng.below(absent.size()))];
+    const double lifetime_s = exponential(rng, p.mean_lifetime_s);
+
+    ScenarioEvent ev;
+    ev.time_s = t;
+    ev.model = model;
+    if (p.slo_fraction > 0.0 && rng.chance(p.slo_fraction))
+      ev.slo_ms = rng.uniform(p.slo_min_ms, p.slo_max_ms);
+    events.push_back(ev);
+    present[models::model_index(model)] = true;
+    ++on_board;
+
+    // Departures past the horizon are truncated: the stream simply serves
+    // through the end of the scenario.
+    if (t + lifetime_s <= horizon_s)
+      pending.push_back(PendingDepart{t + lifetime_s, next_seq++, model});
+  }
+  flush_departures(horizon_s);
+
+  return Scenario(std::move(events));
+}
+
+ArrivalProcess parse_arrival_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string::size_type pos = 0;
+  for (;;) {
+    const auto colon = spec.find(':', pos);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(pos));
+      break;
+    }
+    parts.push_back(spec.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+
+  const auto number = [&](const std::string& field,
+                          const std::string& text) -> double {
+    std::istringstream in(text);
+    double value = 0.0;
+    if (!(in >> value) || !in.eof() || !std::isfinite(value))
+      fail("spec '" + spec + "': bad " + field + " '" + text + "'");
+    return value;
+  };
+
+  ArrivalProcess p;
+  if (parts.empty() || parts[0].empty())
+    fail("spec '" + spec + "': expected poisson:|diurnal:|flash:");
+  if (parts[0] == "poisson") {
+    if (parts.size() != 2)
+      fail("spec '" + spec + "': poisson:<rate>");
+    p.kind = ArrivalKind::kPoisson;
+    p.rate_per_s = number("rate", parts[1]);
+  } else if (parts[0] == "diurnal") {
+    if (parts.size() != 4)
+      fail("spec '" + spec + "': diurnal:<rate>:<period_s>:<amplitude>");
+    p.kind = ArrivalKind::kDiurnal;
+    p.rate_per_s = number("rate", parts[1]);
+    p.diurnal_period_s = number("period", parts[2]);
+    p.diurnal_amplitude = number("amplitude", parts[3]);
+  } else if (parts[0] == "flash") {
+    if (parts.size() != 5)
+      fail("spec '" + spec + "': flash:<rate>:<start_s>:<width_s>:<height>");
+    p.kind = ArrivalKind::kFlashCrowd;
+    p.rate_per_s = number("rate", parts[1]);
+    p.burst_start_s = number("start", parts[2]);
+    p.burst_width_s = number("width", parts[3]);
+    p.burst_height = number("height", parts[4]);
+  } else {
+    fail("spec '" + spec + "': unknown kind '" + parts[0] + "'");
+  }
+  validate(p);
+  return p;
+}
+
+std::string describe(const ArrivalProcess& p) {
+  std::ostringstream out;
+  switch (p.kind) {
+    case ArrivalKind::kPoisson:
+      out << "poisson(rate " << p.rate_per_s << "/s";
+      break;
+    case ArrivalKind::kDiurnal:
+      out << "diurnal(rate " << p.rate_per_s << "/s, period "
+          << p.diurnal_period_s << " s, amplitude " << p.diurnal_amplitude;
+      break;
+    case ArrivalKind::kFlashCrowd:
+      out << "flash(rate " << p.rate_per_s << "/s, burst ["
+          << p.burst_start_s << ", " << p.burst_start_s + p.burst_width_s
+          << ") s, height " << p.burst_height;
+      break;
+  }
+  out << ", life " << p.mean_lifetime_s << " s, cap " << p.max_concurrent;
+  if (p.slo_fraction > 0.0)
+    out << ", slo " << p.slo_fraction * 100.0 << "% [" << p.slo_min_ms
+        << ", " << p.slo_max_ms << "] ms";
+  out << ")";
+  return out.str();
+}
+
+}  // namespace omniboost::workload

@@ -1,0 +1,98 @@
+#pragma once
+/// \file arrival.hpp
+/// Stochastic arrival processes: where workload::Scenario scripts a fixed
+/// event list, an ArrivalProcess describes the *law* the events are drawn
+/// from — a Poisson stream, a diurnal (time-varying-rate) cycle, or a
+/// flash-crowd burst — and sample_scenario() turns it into a valid Scenario
+/// deterministically from a util::Rng. This is how the fleet layer
+/// (core::Cluster, bench_cluster_scaling, `omniboost_cli serve --arrival`)
+/// generates offered load: the same (process, horizon, seed) triple always
+/// yields the byte-identical scenario, so fleet experiments replay exactly.
+///
+/// Non-homogeneous processes sample by Lewis–Shedler thinning: candidate
+/// points are drawn from a homogeneous process at the peak rate and accepted
+/// with probability rate(t)/peak. The pure Poisson path skips the acceptance
+/// draw entirely, so its interarrival gaps are *exactly* Exponential(rate) —
+/// tests/arrival_test.cpp pins their moments.
+
+#include <cstddef>
+#include <string>
+
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace omniboost::workload {
+
+/// The law arrivals are drawn from.
+enum class ArrivalKind {
+  kPoisson,     ///< constant rate
+  kDiurnal,     ///< rate * (1 + amplitude * sin(2*pi*t / period))
+  kFlashCrowd,  ///< rate, except rate * height inside [start, start+width)
+};
+
+/// A stream-arrival process over the model zoo. Arrivals pick a uniformly
+/// random model among those not currently on the board (streams are keyed by
+/// model, mirroring Scenario's duplicate-free-mix invariant), live for an
+/// Exponential(1/mean_lifetime_s) time, then depart. Arrivals that land
+/// while the board already holds max_concurrent streams (or every model) are
+/// dropped on the floor — offered load above capacity simply never enters
+/// the scenario, and no model/lifetime/SLO draws are consumed for it.
+struct ArrivalProcess {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Base arrival rate lambda in streams per second (> 0, finite). For the
+  /// diurnal and flash-crowd kinds this is the off-peak baseline.
+  double rate_per_s = 0.2;
+  /// Mean stream lifetime in seconds (Exponential; > 0, finite).
+  double mean_lifetime_s = 20.0;
+  /// Concurrency ceiling, in [1, models::kNumModels].
+  std::size_t max_concurrent = 4;
+
+  /// kDiurnal: sinusoidal rate envelope
+  ///   rate(t) = rate_per_s * (1 + amplitude * sin(2*pi*t / period)).
+  double diurnal_period_s = 60.0;
+  double diurnal_amplitude = 0.8;  ///< in [0, 1] (1 = rate touches zero)
+
+  /// kFlashCrowd: rate jumps to rate_per_s * burst_height inside
+  /// [burst_start_s, burst_start_s + burst_width_s), baseline elsewhere.
+  double burst_start_s = 10.0;
+  double burst_width_s = 5.0;
+  double burst_height = 8.0;  ///< >= 1
+
+  /// Latency-SLO band: each accepted arrival carries an SLO with probability
+  /// slo_fraction, drawn uniformly from [slo_min_ms, slo_max_ms]. 0 (the
+  /// default) consumes no Rng draws at all, so SLO-free processes sample
+  /// byte-identical scenarios whatever the band bounds say.
+  double slo_fraction = 0.0;
+  double slo_min_ms = 50.0;
+  double slo_max_ms = 500.0;
+};
+
+/// Instantaneous arrival rate lambda(t) of \p process (per second).
+double arrival_rate_at(const ArrivalProcess& process, double t_s);
+
+/// Peak rate sup_t lambda(t) — the thinning envelope sample_scenario uses.
+double peak_arrival_rate(const ArrivalProcess& process);
+
+/// Draws one scenario from \p process over [0, horizon_s]. Deterministic in
+/// (process, horizon_s, rng state): drive it with
+/// `util::Rng rng(util::fork_stream(seed, slot))` to reproduce a sweep
+/// bit-for-bit. Departures past the horizon are truncated (the scenario may
+/// end with streams still serving). The result can be empty when no arrival
+/// lands inside the horizon. Throws std::invalid_argument on invalid process
+/// parameters or a non-finite/negative horizon.
+Scenario sample_scenario(const ArrivalProcess& process, double horizon_s,
+                         util::Rng& rng);
+
+/// Parses the CLI spec grammar (throws std::invalid_argument on anything
+/// else; all numbers must be finite and in range):
+///   poisson:<rate>
+///   diurnal:<rate>:<period_s>:<amplitude>
+///   flash:<rate>:<start_s>:<width_s>:<height>
+/// Lifetime, concurrency ceiling and SLO band keep their defaults — the CLI
+/// layers its own flags on top of the parsed process.
+ArrivalProcess parse_arrival_spec(const std::string& spec);
+
+/// One-line human-readable summary, e.g. "poisson(rate 0.5/s, life 20 s)".
+std::string describe(const ArrivalProcess& process);
+
+}  // namespace omniboost::workload

@@ -25,8 +25,9 @@ std::vector<models::ModelId> replay(const std::vector<ScenarioEvent>& events,
   double prev_time = 0.0;
   for (std::size_t i = 0; i < upto; ++i) {
     const ScenarioEvent& e = events[i];
-    if (!(e.time_s >= 0.0) || std::isnan(e.time_s))
-      throw std::invalid_argument("Scenario: negative or NaN event time");
+    if (!std::isfinite(e.time_s) || e.time_s < 0.0)
+      throw std::invalid_argument(
+          "Scenario: event time must be finite and >= 0");
     if (i > 0 && e.time_s < prev_time)
       throw std::invalid_argument("Scenario: event times must be non-decreasing");
     if (!(e.slo_ms >= 0.0) || !std::isfinite(e.slo_ms))

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <set>
+#include <string>
 
 #include "util/rng.hpp"
 #include "workload/scenario.hpp"
@@ -254,6 +257,147 @@ TEST(ScenarioReplay, SloAfterTracksStreamsAndResetsOnReArrival) {
   EXPECT_EQ(s.mix_after(3).mix[1], ModelId::kVgg19);
   EXPECT_DOUBLE_EQ(s.slo_after(3)[0], 0.090);
   EXPECT_DOUBLE_EQ(s.slo_after(3)[1], 0.0);
+}
+
+// --- Fuzz/property layer -------------------------------------------------
+// Random traces must round-trip the text format bit-exactly, and arbitrary
+// corruption of a valid trace must either still parse (benign mutation) or
+// throw std::invalid_argument — never crash, never escape another type.
+
+/// A randomized-but-legal generator config; roughly half the draws carry an
+/// SLO band so both trace grammars are fuzzed.
+workload::ScenarioConfig fuzz_config(util::Rng& rng) {
+  workload::ScenarioConfig cfg;
+  cfg.max_concurrent = 1 + rng.below(models::kNumModels);
+  cfg.min_concurrent = 1 + rng.below(cfg.max_concurrent);
+  cfg.events = 1 + rng.below(40);
+  if (cfg.min_concurrent == cfg.max_concurrent)
+    cfg.events = 1 + rng.below(cfg.max_concurrent);  // avoid the frozen band
+  cfg.depart_bias = rng.uniform(0.05, 0.95);
+  cfg.mean_interarrival_s = rng.uniform(0.01, 5.0);
+  if (rng.chance(0.5)) {
+    cfg.slo_fraction = rng.uniform(0.1, 1.0);
+    cfg.slo_min_ms = rng.uniform(1.0, 100.0);
+    cfg.slo_max_ms = cfg.slo_min_ms + rng.uniform(0.0, 900.0);
+  }
+  return cfg;
+}
+
+TEST(ScenarioFuzz, RandomTracesRoundTripBitExactly) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    util::Rng rng(util::fork_stream(9001, i));
+    const Scenario original = workload::random_scenario(rng, fuzz_config(rng));
+    const std::string text = workload::serialize_scenario(original);
+    const Scenario parsed = workload::parse_scenario(text);
+
+    ASSERT_EQ(parsed.size(), original.size()) << "iteration " << i;
+    for (std::size_t k = 0; k < original.size(); ++k) {
+      const ScenarioEvent& a = original.events()[k];
+      const ScenarioEvent& b = parsed.events()[k];
+      EXPECT_EQ(a.time_s, b.time_s) << "iteration " << i << " event " << k;
+      EXPECT_EQ(a.kind, b.kind) << "iteration " << i << " event " << k;
+      EXPECT_EQ(a.model, b.model) << "iteration " << i << " event " << k;
+      EXPECT_EQ(a.slo_ms, b.slo_ms) << "iteration " << i << " event " << k;
+    }
+    // And the text itself is a fixed point of serialize∘parse.
+    EXPECT_EQ(workload::serialize_scenario(parsed), text) << "iteration " << i;
+  }
+}
+
+TEST(ScenarioFuzz, MutatedTracesThrowInvalidArgumentOrStillRoundTrip) {
+  // Seed corpus: one plain and one SLO-carrying trace.
+  const std::string corpus[] = {
+      "# omniboost scenario trace v1\n"
+      "at 0 arrive AlexNet\n"
+      "at 1.5 arrive VGG-19\n"
+      "at 2.25 depart AlexNet\n"
+      "at 4 arrive ResNet-50\n"
+      "at 8 depart VGG-19\n",
+      "at 0 arrive AlexNet slo 120.5\n"
+      "at 3 arrive MobileNet\n"
+      "at 5.5 depart AlexNet\n"
+      "at 7 arrive SqueezeNet slo 80\n",
+  };
+  const char charset[] = "at 0123456789.eE+-arivdepsloNVGRM#\nx";
+  std::size_t rejected = 0, survived = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    util::Rng rng(util::fork_stream(9002, i));
+    std::string text = corpus[rng.below(2)];
+    // 1-4 independent byte-level mutations: overwrite, insert, or erase.
+    const std::size_t mutations = 1 + rng.below(4);
+    for (std::size_t m = 0; m < mutations && !text.empty(); ++m) {
+      const std::size_t pos = rng.below(text.size());
+      switch (rng.below(3)) {
+        case 0:
+          text[pos] = charset[rng.below(sizeof(charset) - 1)];
+          break;
+        case 1:
+          text.insert(text.begin() + static_cast<std::ptrdiff_t>(pos),
+                      charset[rng.below(sizeof(charset) - 1)]);
+          break;
+        default:
+          text.erase(text.begin() + static_cast<std::ptrdiff_t>(pos));
+          break;
+      }
+    }
+    try {
+      const Scenario s = workload::parse_scenario(text);
+      // A benign mutation must leave a trace that still round-trips.
+      const std::string canon = workload::serialize_scenario(s);
+      EXPECT_EQ(workload::serialize_scenario(workload::parse_scenario(canon)),
+                canon)
+          << "iteration " << i;
+      ++survived;
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // the only legal rejection channel
+    }
+    // Anything else (std::bad_alloc aside) propagates and fails the test.
+  }
+  // The mutator must actually exercise both paths to mean anything.
+  EXPECT_GT(rejected, 50u);
+  EXPECT_GT(survived, 10u);
+}
+
+TEST(ScenarioFuzz, MalformedAndNonFiniteCorpusAlwaysThrows) {
+  const char* corpus[] = {
+      "at inf arrive AlexNet\n",
+      "at nan arrive AlexNet\n",
+      "at -inf arrive AlexNet\n",
+      "at 1e999 arrive AlexNet\n",
+      "at -0.5 arrive AlexNet\n",
+      "at 5 arrive AlexNet\nat 1 depart AlexNet\n",  // time travel
+      "at 0 arrive AlexNet slo inf\n",
+      "at 0 arrive AlexNet slo nan\n",
+      "at 0 arrive AlexNet slo 1e999\n",
+      "at 0 arrive AlexNet slo -3\n",
+      "at 0 arrive AlexNet slo\n",
+      "at 0 depart AlexNet slo 5\n",
+      "at 0 arrive AlexNet extra\n",
+      "at 0 arrive AlexNet slo 5 extra\n",
+      "at 0 arrive\n",
+      "at 0 arrive NoSuchNet\n",
+      "at 0 sashay AlexNet\n",
+      "att 0 arrive AlexNet\n",
+      "at zero arrive AlexNet\n",
+      "at 0 arrive AlexNet\nat 1 arrive AlexNet\n",   // double arrive
+      "at 0 depart AlexNet\n",                        // depart while absent
+  };
+  for (const char* text : corpus)
+    EXPECT_THROW(workload::parse_scenario(std::string(text)),
+                 std::invalid_argument)
+        << text;
+
+  // The constructor path enforces the same finiteness rules as the parser:
+  // hand-built events cannot smuggle in inf/NaN timestamps or SLOs.
+  ScenarioEvent inf_time{std::numeric_limits<double>::infinity(),
+                         ScenarioEventKind::kArrive, ModelId::kAlexNet};
+  EXPECT_THROW(Scenario({inf_time}), std::invalid_argument);
+  ScenarioEvent nan_time{std::numeric_limits<double>::quiet_NaN(),
+                         ScenarioEventKind::kArrive, ModelId::kAlexNet};
+  EXPECT_THROW(Scenario({nan_time}), std::invalid_argument);
+  ScenarioEvent inf_slo{0.0, ScenarioEventKind::kArrive, ModelId::kAlexNet};
+  inf_slo.slo_ms = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Scenario({inf_slo}), std::invalid_argument);
 }
 
 TEST(ScenarioReplay, MixAfterTracksArrivalOrderAndDepartures) {

@@ -36,6 +36,7 @@ EXPECTED = [
     "ablation_search",
     "ablation_stages",
     "ablation_training",
+    "cluster_scaling",
     "estimator_accuracy",
     "fig1_motivation",
     "fig4_estimator_training",

@@ -18,6 +18,8 @@
 ///   omniboost_cli serve --events 10 --estimator-file est.bin
 ///   omniboost_cli serve --scenario trace.txt --cold --json
 ///   omniboost_cli serve --events 12 --slo 150 --migration-cost 1 --json
+///   omniboost_cli serve --boards 3 --arrival poisson:0.5 --scheduler greedy
+///   omniboost_cli serve --boards 4 --arrival flash:0.2:30:10:8 --json
 
 #include <algorithm>
 #include <cstdio>
@@ -27,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cluster.hpp"
 #include "core/dataset.hpp"
 #include "device/profile.hpp"
 #include "core/omniboost.hpp"
@@ -46,6 +49,7 @@
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "workload/arrival.hpp"
 #include "workload/scenario.hpp"
 #include "workload/workload.hpp"
 
@@ -444,7 +448,25 @@ int run_serve(int argc, char** argv) {
               "re-upload + warm-up as a one-off stall in the epoch "
               "measurement (sim::MigrationCostModel); 0 = migrations are "
               "free (the default)",
-              "0");
+              "0")
+      .option("boards",
+              "fleet size; >1 routes arrivals across a heterogeneous "
+              "core::Cluster instead of one board",
+              "1")
+      .option("arrival",
+              "draw the scenario from a stochastic arrival process instead "
+              "of the event-count generator: poisson:<rate>, "
+              "diurnal:<rate>:<period_s>:<amplitude>, or "
+              "flash:<rate>:<start_s>:<width_s>:<height>")
+      .option("horizon", "arrival process: sampled horizon (s)", "120")
+      .option("lifetime", "arrival process: mean stream lifetime (s)", "20")
+      .option("placement",
+              "cluster routing policy: least-loaded|best-t|memory-headroom",
+              "least-loaded")
+      .option("cross-gbps",
+              "cluster: cross-board weight-transfer bandwidth (GB/s) priced "
+              "into rescue migrations",
+              "1");
   declare_common_options(args);
   args.flag("cold",
             "disable warm-started rescheduling: every event gets a cold "
@@ -452,6 +474,8 @@ int run_serve(int argc, char** argv) {
       .flag("slo-hard-prune",
             "hard-prune SLO-breaking candidates in the warm search instead "
             "of shaping their reward down")
+      .flag("no-migrate",
+            "cluster: disable rescue migrations off saturating boards")
       .flag("json", "emit a machine-readable JSON report");
   if (!args.parse(argc, argv)) return 0;
 
@@ -466,6 +490,23 @@ int run_serve(int argc, char** argv) {
   workload::Scenario scenario;
   if (args.has("scenario")) {
     scenario = workload::load_scenario_file(args.get("scenario"));
+  } else if (args.has("arrival")) {
+    workload::ArrivalProcess process =
+        workload::parse_arrival_spec(args.get("arrival"));
+    process.mean_lifetime_s = args.get_double("lifetime");
+    if (args.get_int("max-concurrent") < 1)
+      throw std::invalid_argument("--max-concurrent must be >= 1");
+    process.max_concurrent =
+        std::min<std::size_t>(
+            static_cast<std::size_t>(args.get_int("max-concurrent")),
+            models::kNumModels);
+    util::Rng rng(seed);
+    scenario = workload::sample_scenario(process, args.get_double("horizon"),
+                                         rng);
+    if (scenario.empty())
+      throw std::invalid_argument(
+          "arrival process produced an empty scenario; raise the rate or "
+          "the --horizon");
   } else {
     // Validate before the size_t casts: a negative count would wrap to a
     // huge value and die later with a cryptic allocation error.
@@ -520,6 +561,129 @@ int run_serve(int argc, char** argv) {
   const double bnb_timeout_ms = args.get_double("bnb-timeout-ms");
   if (bnb_timeout_ms < 0.0)
     throw std::invalid_argument("--bnb-timeout-ms must be >= 0");
+
+  const double migration_cost = args.get_double("migration-cost");
+  if (migration_cost < 0.0)
+    throw std::invalid_argument("--migration-cost must be >= 0");
+  core::ServingConfig sc;
+  sc.warm_start = warm;
+  sc.migration.enabled = migration_cost > 0.0;
+  sc.migration.scale = migration_cost > 0.0 ? migration_cost : 1.0;
+
+  // --- Fleet mode: route arrivals across a heterogeneous cluster. A fleet
+  // of one stays on the plain ServingRuntime path below, so every existing
+  // single-board invocation reproduces its output bit-for-bit.
+  const long long boards_raw = args.get_int("boards");
+  if (boards_raw < 1) throw std::invalid_argument("--boards must be >= 1");
+  if (boards_raw > 1) {
+    const auto n_boards = static_cast<std::size_t>(boards_raw);
+    core::ClusterConfig cc;
+    cc.serving = sc;
+    cc.migrate = !args.get_flag("no-migrate");
+    cc.cross_board_gbps = args.get_double("cross-gbps");
+    if (!(cc.cross_board_gbps > 0.0))
+      throw std::invalid_argument("--cross-gbps must be > 0");
+    const core::Cluster cluster(zoo, core::make_heterogeneous_fleet(n_boards),
+                                cc);
+    const auto policy = core::make_placement_policy(args.get("placement"));
+    // Model-driven schedulers reuse the stock-board embedding/estimator on
+    // every board (the DES measurement stays per-board exact either way);
+    // analytic schedulers are rebuilt against each board's own spec.
+    const core::SchedulerFactory factory =
+        [&](std::size_t i) -> std::unique_ptr<core::IScheduler> {
+      return make_scheduler(
+          scheduler_kind, zoo, cluster.boards()[i].device, embedding,
+          estimator, static_cast<std::size_t>(args.get_int("budget")),
+          static_cast<std::size_t>(args.get_int("depth")),
+          static_cast<std::size_t>(args.get_int("batch")), seed,
+          args.get_double("rollout-fraction"), args.get_flag("slo-hard-prune"),
+          bnb_timeout_ms);
+    };
+    const core::ClusterReport rep = cluster.run(factory, scenario, *policy);
+
+    if (as_json) {
+      util::Json out = util::Json::object();
+      out.set("scenario", util::Json::string(scenario.describe()));
+      out.set("scheduler", util::Json::string(scheduler_kind));
+      out.set("placement", util::Json::string(policy->name()));
+      out.set("boards", util::Json::number(static_cast<double>(n_boards)));
+      out.set("warm_start", util::Json::boolean(warm));
+      util::Json fleet = util::Json::array();
+      for (std::size_t i = 0; i < rep.boards.size(); ++i) {
+        const core::ServingReport& br = rep.boards[i];
+        util::Json j = util::Json::object();
+        j.set("board", util::Json::string(rep.board_names[i]));
+        j.set("epochs", util::Json::number(br.epochs.size()));
+        j.set("decisions", util::Json::number(br.decisions));
+        j.set("mean_throughput_inf_s",
+              util::Json::number(br.mean_throughput));
+        j.set("mean_churn", util::Json::number(br.mean_churn));
+        j.set("slo_streams", util::Json::number(br.total_slo_streams));
+        j.set("slo_violations", util::Json::number(br.total_slo_violations));
+        fleet.push_back(std::move(j));
+      }
+      out.set("fleet", std::move(fleet));
+      out.set("offered_streams", util::Json::number(rep.offered_streams));
+      out.set("admitted_streams", util::Json::number(rep.admitted_streams));
+      out.set("rejected_streams", util::Json::number(rep.rejected_streams));
+      out.set("rejection_rate", util::Json::number(rep.rejection_rate));
+      out.set("departures", util::Json::number(rep.departures));
+      out.set("migrations", util::Json::number(rep.migrations));
+      out.set("cross_board_stall_s",
+              util::Json::number(rep.cross_board_stall_s));
+      out.set("cross_board_weight_bytes",
+              util::Json::number(rep.cross_board_weight_bytes));
+      out.set("fleet_throughput_inf_s",
+              util::Json::number(rep.fleet_throughput));
+      out.set("total_decision_seconds",
+              util::Json::number(rep.total_decision_seconds));
+      out.set("total_slo_streams",
+              util::Json::number(rep.total_slo_streams));
+      out.set("total_slo_violations",
+              util::Json::number(rep.total_slo_violations));
+      std::printf("%s\n", out.dump(2).c_str());
+      return 0;
+    }
+
+    std::printf("\nscenario: %s | scheduler: %s | placement: %s | "
+                "%zu boards | warm-started rescheduling: %s\n",
+                scenario.describe().c_str(), scheduler_kind.c_str(),
+                policy->name().c_str(), n_boards, warm ? "on" : "off");
+    util::Table table({"board", "epochs", "decisions", "mean T inf/s",
+                       "churn", "SLO"});
+    for (std::size_t i = 0; i < rep.boards.size(); ++i) {
+      const core::ServingReport& br = rep.boards[i];
+      table.add_row(
+          {rep.board_names[i], std::to_string(br.epochs.size()),
+           std::to_string(br.decisions), util::fmt(br.mean_throughput, 2),
+           util::fmt(100.0 * br.mean_churn, 1) + "%",
+           br.total_slo_streams == 0
+               ? "-"
+               : std::to_string(br.total_slo_violations) + "/" +
+                     std::to_string(br.total_slo_streams)});
+    }
+    table.print(std::cout);
+    std::printf("\nfleet: %zu offered, %zu admitted, %zu rejected "
+                "(%.1f%%), %zu departures\n",
+                rep.offered_streams, rep.admitted_streams,
+                rep.rejected_streams, 100.0 * rep.rejection_rate,
+                rep.departures);
+    std::printf("fleet throughput %.3f inf/s | %zu decisions | %.3f s "
+                "deciding\n",
+                rep.fleet_throughput, rep.decisions,
+                rep.total_decision_seconds);
+    if (rep.migrations > 0)
+      std::printf("migrations: %zu rescues, %.1f ms cross-board stall, "
+                  "%.1f MB weights moved\n",
+                  rep.migrations, 1e3 * rep.cross_board_stall_s,
+                  rep.cross_board_weight_bytes / 1e6);
+    if (rep.total_slo_streams > 0)
+      std::printf("SLO: %zu violations over %zu stream-epochs under an "
+                  "SLO\n",
+                  rep.total_slo_violations, rep.total_slo_streams);
+    return 0;
+  }
+
   auto scheduler = make_scheduler(
       scheduler_kind, zoo, device, embedding, estimator,
       static_cast<std::size_t>(args.get_int("budget")),
@@ -529,13 +693,6 @@ int run_serve(int argc, char** argv) {
       bnb_timeout_ms);
 
   // --- Serve.
-  const double migration_cost = args.get_double("migration-cost");
-  if (migration_cost < 0.0)
-    throw std::invalid_argument("--migration-cost must be >= 0");
-  core::ServingConfig sc;
-  sc.warm_start = warm;
-  sc.migration.enabled = migration_cost > 0.0;
-  sc.migration.scale = migration_cost > 0.0 ? migration_cost : 1.0;
   const core::ServingRuntime runtime(zoo, board, sc);
   const core::ServingReport report = runtime.run(*scheduler, scenario);
 

@@ -49,6 +49,13 @@ cmake --build "$build_dir" -j "$jobs"
 echo "== ctest =="
 (cd "$build_dir" && ctest --output-on-failure -j "$jobs")
 
+# The property/fuzz suites are cheap and catch the widest class of
+# regressions; re-running the lane standalone keeps a crisp signal (a
+# property failure is reported as its own tier-1 step, not buried in the
+# full matrix) and exercises the ctest label wiring itself.
+echo "== property lane =="
+(cd "$build_dir" && ctest --output-on-failure --label-regex property -j "$jobs")
+
 if [ "$bench_smoke" -eq 1 ]; then
   echo "== bench smoke =="
   cmake --build "$build_dir" -j "$jobs" --target bench_all
