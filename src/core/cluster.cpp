@@ -1,6 +1,8 @@
 #include "core/cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "device/cost_model.hpp"
@@ -117,6 +119,14 @@ Cluster::Cluster(const models::ModelZoo& zoo, std::vector<BoardSpec> boards,
                  ClusterConfig config)
     : zoo_(&zoo), boards_(std::move(boards)), config_(config) {
   OB_REQUIRE(!boards_.empty(), "Cluster: at least one board required");
+  // Up-front config validation: bad pricing parameters would otherwise
+  // surface as NaN stalls deep inside a run.
+  OB_REQUIRE(
+      std::isfinite(config_.cross_board_gbps) && config_.cross_board_gbps > 0.0,
+      "Cluster: cross_board_gbps must be finite and > 0");
+  OB_REQUIRE(std::isfinite(config_.max_migration_stall_s) &&
+                 config_.max_migration_stall_s >= 0.0,
+             "Cluster: max_migration_stall_s must be finite and >= 0");
   sims_.reserve(boards_.size());
   for (const BoardSpec& b : boards_)
     sims_.push_back(std::make_unique<sim::DesSimulator>(b.device, config_.des));
@@ -128,6 +138,9 @@ ClusterReport Cluster::run(const SchedulerFactory& make_scheduler,
   OB_REQUIRE(!scenario.empty(), "Cluster::run: empty scenario");
   OB_REQUIRE(static_cast<bool>(make_scheduler),
              "Cluster::run: null scheduler factory");
+  OB_REQUIRE(scenario.fault_board_span() <= boards_.size(),
+             "Cluster::run: scenario fault events target a board outside "
+             "the fleet");
 
   const std::size_t n = boards_.size();
   std::vector<std::unique_ptr<IScheduler>> schedulers;
@@ -139,7 +152,17 @@ ClusterReport Cluster::run(const SchedulerFactory& make_scheduler,
     OB_REQUIRE(schedulers.back() != nullptr,
                "Cluster::run: scheduler factory returned null");
     sessions.emplace_back(*zoo_, *sims_[i], config_.serving);
+    // A previous faulted run may have left the board throttled; reruns must
+    // be byte-identical, so every run starts at full health (setting 1.0 on
+    // a healthy board is numerically a no-op).
+    sims_[i]->set_throttle(1.0);
   }
+
+  // Board health: up[i] false while board i is failed, throttle[i] < 1
+  // while it serves degraded. Fault-free scenarios never change either.
+  std::vector<bool> up(n, true);
+  std::vector<double> throttle(n, 1.0);
+  std::vector<double> down_since(n, 0.0);
 
   ClusterReport report;
   report.board_names.reserve(n);
@@ -150,6 +173,7 @@ ClusterReport Cluster::run(const SchedulerFactory& make_scheduler,
   constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
   std::vector<std::size_t> location(models::kNumModels, kAbsent);
   std::vector<bool> rejected(models::kNumModels, false);
+  std::vector<bool> shed(models::kNumModels, false);
 
   // Live views for the placement policy (and the admission headroom).
   const auto make_views = [&]() {
@@ -179,6 +203,7 @@ ClusterReport Cluster::run(const SchedulerFactory& make_scheduler,
   // residency within the arrival's SLO (if any).
   const auto admits = [&](std::size_t i, const models::NetworkDesc& net,
                           double slo_s) {
+    if (!up[i]) return false;  // failed boards never admit, admit_all or not
     if (config_.admit_all) return true;
     sim::NetworkList nets = resolve_present(*zoo_, sessions[i].present());
     nets.push_back(&net);
@@ -199,7 +224,162 @@ ClusterReport Cluster::run(const SchedulerFactory& make_scheduler,
            config_.serving.migration.per_segment_overhead_s;
   };
 
+  // All board epochs flow through here so degraded-epoch exposure (non-idle
+  // epochs served at reduced speed) is counted uniformly; at full health the
+  // extra comparison changes nothing.
+  const auto serve = [&](std::size_t i, const workload::ScenarioEvent& ev,
+                         double stall_s = 0.0) -> const EpochReport& {
+    const EpochReport& ep = sessions[i].apply(*schedulers[i], ev, stall_s);
+    if (ep.mix_size > 0 && throttle[i] < 1.0) ++report.degraded_epochs;
+    return ep;
+  };
+
+  // Residency floor of one stream — the failover/rebalance ordering key
+  // (device-independent: weights plus double-buffered peak activation).
+  const auto working_set = [&](const models::NetworkDesc& net) {
+    return sims_[0]->cost_model().segment_working_set_bytes(
+        net, 0, net.num_layers() - 1);
+  };
+
+  // Moves stream \p m (with its SLO) onto \p target, charging the
+  // cross-board transfer as a start stall on its first epoch there.
+  const auto arrive_at = [&](std::size_t target, models::ModelId m,
+                             double slo_s, double time_s, double stall_s) {
+    workload::ScenarioEvent arr;
+    arr.time_s = time_s;
+    arr.kind = workload::ScenarioEventKind::kArrive;
+    arr.model = m;
+    arr.slo_ms = slo_s * 1e3;
+    serve(target, arr, stall_s);
+    location[models::model_index(m)] = target;
+  };
+
   for (const workload::ScenarioEvent& e : scenario.events()) {
+    if (workload::is_fault_event(e.kind)) {
+      const std::size_t b = e.board;  // < n by the fault_board_span check
+      if (e.kind == workload::ScenarioEventKind::kFailBoard) {
+        ++report.board_failures;
+        up[b] = false;
+        down_since[b] = e.time_s;
+        // Snapshot the residents, evict the board, then fail each stream
+        // over — lightest working set first: light streams are the
+        // likeliest to fit a survivor and the cheapest to move, so when
+        // capacity runs short it is the heaviest (least-feasible) streams
+        // that get shed. A rebooted board holds no weights, so eviction
+        // clears the session's warm state entirely.
+        std::vector<models::ModelId> victims = sessions[b].present();
+        const std::vector<double> victim_slos = sessions[b].present_slo_s();
+        std::vector<double> victim_slo_of(models::kNumModels, 0.0);
+        for (std::size_t v = 0; v < victims.size(); ++v)
+          victim_slo_of[models::model_index(victims[v])] = victim_slos[v];
+        sessions[b].evict_all();
+        std::stable_sort(victims.begin(), victims.end(),
+                         [&](models::ModelId a, models::ModelId c) {
+                           return working_set(zoo_->network(a)) <
+                                  working_set(zoo_->network(c));
+                         });
+        for (const models::ModelId m : victims) {
+          const models::NetworkDesc& net = zoo_->network(m);
+          const double slo_s = victim_slo_of[models::model_index(m)];
+          std::vector<std::size_t> targets;
+          for (std::size_t i = 0; i < n; ++i)
+            if (admits(i, net, slo_s)) targets.push_back(i);
+          if (targets.empty()) {
+            // Graceful degradation: no survivor can take the stream.
+            shed[models::model_index(m)] = true;
+            location[models::model_index(m)] = kAbsent;
+            ++report.shed_streams;
+            continue;
+          }
+          // Failover is forced, not elective — the stall cap never sheds a
+          // stream some board still admits.
+          const double stall_s = cross_board_stall(net);
+          workload::ScenarioEvent arr = e;
+          arr.kind = workload::ScenarioEventKind::kArrive;
+          arr.model = m;
+          arr.slo_ms = slo_s * 1e3;
+          arr.board = 0;
+          const std::size_t target = policy.place(arr, net, make_views(),
+                                                  targets);
+          OB_REQUIRE(std::find(targets.begin(), targets.end(), target) !=
+                         targets.end(),
+                     "Cluster::run: policy placed outside the target set");
+          arrive_at(target, m, slo_s, e.time_s, stall_s);
+          ++report.failovers;
+          report.failover_stall_s += stall_s;
+          report.failover_weight_bytes += net.total_weight_bytes();
+        }
+      } else if (e.kind == workload::ScenarioEventKind::kThrottleBoard) {
+        ++report.board_throttles;
+        throttle[b] = e.factor;
+        sims_[b]->set_throttle(e.factor);
+        if (!sessions[b].idle()) {
+          // Re-decide and re-measure the resident mix at the new speed.
+          char label[64];
+          std::snprintf(label, sizeof(label), "throttle x%g (refresh)",
+                        e.factor);
+          sessions[b].refresh(*schedulers[b], e.time_s, label);
+          ++report.degraded_epochs;
+        }
+      } else {  // kRecoverBoard
+        ++report.board_recoveries;
+        const bool was_throttled = up[b] && throttle[b] < 1.0;
+        if (!up[b]) {
+          report.downtime_board_s += e.time_s - down_since[b];
+          up[b] = true;
+        }
+        throttle[b] = 1.0;
+        sims_[b]->set_throttle(1.0);
+        if (was_throttled && !sessions[b].idle())
+          sessions[b].refresh(*schedulers[b], e.time_s, "recover (refresh)");
+        if (config_.rebalance_on_recovery) {
+          // Greedily pull streams back while some donor board holds at
+          // least two more than the recovered one. Elective, so the
+          // migration stall cap applies.
+          for (;;) {
+            std::size_t donor = kAbsent;
+            for (std::size_t i = 0; i < n; ++i) {
+              if (i == b || !up[i]) continue;
+              if (donor == kAbsent || sessions[i].present().size() >
+                                          sessions[donor].present().size())
+                donor = i;
+            }
+            if (donor == kAbsent ||
+                sessions[donor].present().size() <
+                    sessions[b].present().size() + 2)
+              break;
+            // Lightest resident first: cheapest to move, likeliest to fit.
+            const std::vector<models::ModelId>& held =
+                sessions[donor].present();
+            const std::vector<double>& held_slos =
+                sessions[donor].present_slo_s();
+            std::size_t pick = held.size();
+            for (std::size_t v = 0; v < held.size(); ++v)
+              if (pick == held.size() ||
+                  working_set(zoo_->network(held[v])) <
+                      working_set(zoo_->network(held[pick])))
+                pick = v;
+            const models::ModelId m = held[pick];
+            const double slo_s = held_slos[pick];
+            const models::NetworkDesc& net = zoo_->network(m);
+            const double stall_s = cross_board_stall(net);
+            if (!admits(b, net, slo_s) ||
+                (config_.max_migration_stall_s > 0.0 &&
+                 stall_s > config_.max_migration_stall_s))
+              break;
+            workload::ScenarioEvent leave;
+            leave.time_s = e.time_s;
+            leave.kind = workload::ScenarioEventKind::kDepart;
+            leave.model = m;
+            serve(donor, leave);
+            arrive_at(b, m, slo_s, e.time_s, stall_s);
+            ++report.rebalances;
+            report.rebalance_stall_s += stall_s;
+          }
+        }
+      }
+      continue;
+    }
     if (e.kind == workload::ScenarioEventKind::kDepart) {
       const std::size_t idx = models::model_index(e.model);
       if (rejected[idx]) {
@@ -208,10 +388,16 @@ ClusterReport Cluster::run(const SchedulerFactory& make_scheduler,
         ++report.rejected_departures;
         continue;
       }
+      if (shed[idx]) {
+        // The stream was dropped during a failover; nothing holds it now.
+        shed[idx] = false;
+        ++report.shed_departures;
+        continue;
+      }
       const std::size_t board = location[idx];
       OB_REQUIRE(board != kAbsent,
                  "Cluster::run: departure of an untracked stream");
-      sessions[board].apply(*schedulers[board], e);
+      serve(board, e);
       location[idx] = kAbsent;
       ++report.departures;
       continue;
@@ -236,7 +422,7 @@ ClusterReport Cluster::run(const SchedulerFactory& make_scheduler,
     OB_REQUIRE(std::find(admissible.begin(), admissible.end(), board) !=
                    admissible.end(),
                "Cluster::run: policy placed outside the admissible set");
-    const EpochReport& ep = sessions[board].apply(*schedulers[board], e);
+    const EpochReport& ep = serve(board, e);
     location[models::model_index(e.model)] = board;
     ++report.admitted_streams;
 
@@ -261,8 +447,8 @@ ClusterReport Cluster::run(const SchedulerFactory& make_scheduler,
           workload::ScenarioEvent leave = e;
           leave.kind = workload::ScenarioEventKind::kDepart;
           leave.slo_ms = 0.0;  // departures never carry an SLO
-          sessions[board].apply(*schedulers[board], leave);
-          sessions[target].apply(*schedulers[target], e, stall_s);
+          serve(board, leave);
+          serve(target, e, stall_s);
           location[models::model_index(e.model)] = target;
           ++report.migrations;
           report.cross_board_stall_s += stall_s;
@@ -270,6 +456,15 @@ ClusterReport Cluster::run(const SchedulerFactory& make_scheduler,
         }
       }
     }
+  }
+
+  // Boards still down when the scenario ends accrue downtime up to the last
+  // event, and leave subsequent runs healthy (rerun byte-identity).
+  const double end_time_s = scenario.events().back().time_s;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!up[i]) report.downtime_board_s += end_time_s - down_since[i];
+    sims_[i]->set_throttle(1.0);
+    report.resident_streams += sessions[i].present().size();
   }
 
   for (ServingSession& s : sessions) report.boards.push_back(s.finish());

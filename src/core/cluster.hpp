@@ -28,8 +28,21 @@
 ///    start stall. Cross-board costs are fleet-level accounting
 ///    (ClusterReport) — per-board EpochReport migration fields stay
 ///    intra-board.
+///  - *Fault tolerance*: scenario fault events (fail/throttle/recover, see
+///    workload/scenario.hpp) are fleet-level. On `fail` the cluster evicts
+///    the board and fails its resident streams over to surviving boards
+///    (lightest working set first, priced like rescue migrations; streams
+///    no surviving board admits are SHED — degradation accounted separately
+///    from admission rejections, and shed streams' later departures are
+///    swallowed). On `throttle` the board's DES slows to the factor and the
+///    resident mix is re-decided/re-measured in place (a refresh epoch).
+///    On `recover` the board returns to full speed (optionally pulling
+///    streams back from the most-loaded board when
+///    ClusterConfig::rebalance_on_recovery is set). Fault-free scenarios
+///    take none of these paths, so their reports stay byte-identical to the
+///    pre-fault cluster (pinned by tests/cluster_test.cpp).
 ///
-/// See docs/ARCHITECTURE.md "Cluster & placement".
+/// See docs/ARCHITECTURE.md "Cluster & placement" and "Fault tolerance".
 
 #include <cstddef>
 #include <functional>
@@ -106,8 +119,15 @@ struct ClusterConfig {
   double max_migration_stall_s = 0.0;
   /// Bypasses admission entirely (every arrival routes; nothing is
   /// rejected). The single-board equivalence pin uses this to guarantee the
-  /// cluster replays exactly what ServingRuntime would.
+  /// cluster replays exactly what ServingRuntime would. Failed boards never
+  /// admit, admit_all or not.
   bool admit_all = false;
+  /// After a `recover` event, greedily pull streams back onto the recovered
+  /// board from the fleet's most-loaded boards (lightest working set first,
+  /// priced as cross-board transfers, elective — the stall cap applies).
+  /// Off by default: recovery then only restores the board for future
+  /// arrivals.
+  bool rebalance_on_recovery = false;
 };
 
 /// Per-board reports plus the fleet-level aggregates the benches compare.
@@ -129,6 +149,35 @@ struct ClusterReport {
   std::size_t migrations = 0;
   double cross_board_stall_s = 0.0;
   double cross_board_weight_bytes = 0.0;
+
+  /// Fault-tolerance accounting (all zero for fault-free scenarios).
+  std::size_t board_failures = 0;    ///< `fail` events applied
+  std::size_t board_throttles = 0;   ///< `throttle` events applied
+  std::size_t board_recoveries = 0;  ///< `recover` events applied
+  /// Streams moved off a failed board onto a survivor, and the cross-board
+  /// transfer cost charged for those moves.
+  std::size_t failovers = 0;
+  double failover_stall_s = 0.0;
+  double failover_weight_bytes = 0.0;
+  /// Streams dropped during a failover because no surviving board admitted
+  /// them (graceful degradation — distinct from rejected_streams, which
+  /// never got on a board at all). Their later departures are swallowed
+  /// into shed_departures.
+  std::size_t shed_streams = 0;
+  std::size_t shed_departures = 0;
+  /// Streams pulled back onto a recovered board (rebalance_on_recovery).
+  std::size_t rebalances = 0;
+  double rebalance_stall_s = 0.0;
+  /// Summed per-board out-of-service time: every `fail`..`recover` interval,
+  /// plus, for boards still down when the scenario ends, the tail up to the
+  /// last event's timestamp.
+  double downtime_board_s = 0.0;
+  /// Non-idle epochs served by a throttled board (graceful-degradation
+  /// exposure: how much serving ran at reduced speed).
+  std::size_t degraded_epochs = 0;
+  /// Streams still resident on boards when the scenario ends. Conservation
+  /// (pinned): admitted = departures + shed_streams + resident_streams.
+  std::size_t resident_streams = 0;
 
   /// Sums over the per-board reports (equality with the sum is pinned).
   std::size_t decisions = 0;

@@ -45,6 +45,9 @@ ServingSession::ServingSession(const models::ModelZoo& zoo,
 const EpochReport& ServingSession::apply(IScheduler& scheduler,
                                          const workload::ScenarioEvent& e,
                                          double arrival_stall_s) {
+  OB_REQUIRE(!workload::is_fault_event(e.kind),
+             "ServingSession::apply: fault events are fleet-level — "
+             "core::Cluster translates them into evict_all()/refresh()");
   OB_REQUIRE(arrival_stall_s >= 0.0,
              "ServingSession::apply: negative arrival stall");
   OB_REQUIRE(
@@ -87,6 +90,30 @@ const EpochReport& ServingSession::apply(IScheduler& scheduler,
     return report_.epochs.back();
   }
 
+  return serve_epoch(scheduler, std::move(ep), arrival_stall_s);
+}
+
+const EpochReport& ServingSession::refresh(IScheduler& scheduler,
+                                           double time_s,
+                                           const std::string& label) {
+  OB_REQUIRE(!present_.empty(),
+             "ServingSession::refresh: nothing resident to refresh");
+  EpochReport ep;
+  ep.time_s = time_s;
+  ep.event = label;
+  return serve_epoch(scheduler, std::move(ep), 0.0);
+}
+
+void ServingSession::evict_all() {
+  present_.clear();
+  present_slo_s_.clear();
+  have_prev_ = false;
+  last_throughput_ = 0.0;
+}
+
+const EpochReport& ServingSession::serve_epoch(IScheduler& scheduler,
+                                               EpochReport ep,
+                                               double arrival_stall_s) {
   const workload::Workload w{present_};
   ep.mix = w.describe();
   ep.mix_size = w.size();

@@ -145,6 +145,24 @@ class ServingSession {
                            const workload::ScenarioEvent& event,
                            double arrival_stall_s = 0.0);
 
+  /// Re-decides and re-measures the CURRENT mix without changing it — the
+  /// fault-reaction hook core::Cluster uses when a board's speed changes
+  /// (throttle/recover) under live streams. Runs the identical epoch engine
+  /// as apply(): a reschedule() with identity carried_from (every stream
+  /// survives in place) against the previous mapping, then a fresh DES
+  /// measurement at the board's current throttle. \p label becomes the
+  /// epoch's event string. Only legal while not idle().
+  const EpochReport& refresh(IScheduler& scheduler, double time_s,
+                             const std::string& label);
+
+  /// Forcibly removes every resident stream without serving an epoch — the
+  /// board-failure hook. The next decision (if the board returns to
+  /// service) starts cold, exactly like the post-idle path: a rebooted
+  /// board holds no weights, so nothing can be warm. Callers wanting the
+  /// evicted streams (to fail them over) must snapshot present() /
+  /// present_slo_s() first.
+  void evict_all();
+
   /// Finalizes the aggregate means and returns the report for everything
   /// applied so far. The session stays usable (finish() is a snapshot).
   ServingReport finish() const;
@@ -164,6 +182,13 @@ class ServingSession {
   const sim::MigrationCostModel& migration_model() const { return migration_; }
 
  private:
+  /// Shared epoch engine: decides (schedule or reschedule), measures, and
+  /// accumulates one non-idle epoch for the current mix. \p ep arrives with
+  /// time_s/event prefilled; apply() and refresh() both end here, so the two
+  /// stay bit-identical on the paths they share.
+  const EpochReport& serve_epoch(IScheduler& scheduler, EpochReport ep,
+                                 double arrival_stall_s);
+
   const models::ModelZoo* zoo_;
   const sim::DesSimulator* board_;
   ServingConfig config_;

@@ -13,7 +13,10 @@ double CostModel::kernel_time(const models::KernelDesc& kernel,
   const double t_compute =
       kernel.flops > 0.0 ? kernel.flops / (c.peak_gflops * 1e9 * eff) : 0.0;
   const double t_memory = kernel.bytes / (c.mem_bw_gbps * 1e9);
-  return std::max(t_compute, t_memory) + c.kernel_overhead_s;
+  // Board-level throttle scales service time uniformly; at the default 1.0
+  // the division is a bit-exact identity.
+  return (std::max(t_compute, t_memory) + c.kernel_overhead_s) /
+         device_->throttle;
 }
 
 double CostModel::layer_time(const models::LayerDesc& layer,

@@ -86,6 +86,13 @@ struct DeviceSpec {
   /// stage (input staging, graph dispatch, output collection). Bounds how
   /// fast very light models can spin regardless of placement.
   double per_inference_overhead_s = 20e-3;
+  /// Speed fraction the board currently runs at, in (0, 1]. 1 (full health)
+  /// is the default; fleet fault handling (core::Cluster) lowers it on
+  /// `throttle` events. Compute and DRAM service times scale by 1/throttle
+  /// in both the analytic cost model and the DES; at exactly 1.0 the
+  /// scaling is bit-exact identity (x / 1.0 == x in IEEE-754), so
+  /// fault-free runs reproduce pre-throttle numbers bit-for-bit.
+  double throttle = 1.0;
 
   const ComponentSpec& component(ComponentId id) const {
     return components[component_index(id)];

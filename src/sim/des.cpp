@@ -36,6 +36,12 @@ DesSimulator::DesSimulator(const device::DeviceSpec& device, DesConfig config)
              "DesSimulator: bad config");
 }
 
+void DesSimulator::set_throttle(double factor) {
+  OB_REQUIRE(std::isfinite(factor) && factor > 0.0 && factor <= 1.0,
+             "DesSimulator::set_throttle: factor must be in (0, 1]");
+  device_.throttle = factor;
+}
+
 void finalize_report(ThroughputReport& report, const Scene& scene,
                      const NetworkList& nets,
                      const device::DeviceSpec& device) {
@@ -48,7 +54,9 @@ void finalize_report(ThroughputReport& report, const Scene& scene,
   for (std::size_t i = 0; i < nets.size(); ++i)
     demand += report.per_dnn_rate[i] * stream_traffic_bytes(scene, i);
   report.dram_demand_gbps = demand / 1e9;
-  const double cap = device.dram_bw_gbps * 1e9;
+  // The board throttle scales the DRAM wall alongside compute (the cost
+  // model already scaled kernel times); at 1.0 the multiply is bit-exact.
+  const double cap = device.dram_bw_gbps * 1e9 * device.throttle;
   report.dram_scale = demand > cap ? cap / demand : 1.0;
   for (double& r : report.per_dnn_rate) r *= report.dram_scale;
 

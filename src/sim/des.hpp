@@ -81,6 +81,13 @@ class DesSimulator {
 
   const device::DeviceSpec& device() const { return cost_.device(); }
   const device::CostModel& cost_model() const { return cost_; }
+
+  /// Sets the owned spec's board-level throttle (see DeviceSpec::throttle);
+  /// the internal cost model reads through the owned spec, so subsequent
+  /// simulations run at the new speed immediately. Throws
+  /// std::invalid_argument unless \p factor is finite and in (0, 1].
+  void set_throttle(double factor);
+  double throttle() const { return device_.throttle; }
   /// Simulation controls (exposed for clone() and diagnostics).
   const DesConfig& config() const { return config_; }
 

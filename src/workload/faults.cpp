@@ -1,0 +1,159 @@
+#include "workload/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace omniboost::workload {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("FaultProcess: " + what);
+}
+
+void validate(const FaultProcess& p) {
+  if (!(std::isfinite(p.mtbf_s) && p.mtbf_s > 0.0))
+    fail("mtbf_s must be finite and > 0");
+  if (!(std::isfinite(p.mttr_s) && p.mttr_s > 0.0))
+    fail("mttr_s must be finite and > 0");
+  if (!(std::isfinite(p.throttle_fraction) && p.throttle_fraction >= 0.0 &&
+        p.throttle_fraction <= 1.0))
+    fail("throttle_fraction must be in [0, 1]");
+  if (p.throttle_fraction > 0.0) {
+    if (!(std::isfinite(p.throttle_min) && p.throttle_min > 0.0 &&
+          std::isfinite(p.throttle_max) && p.throttle_max >= p.throttle_min &&
+          p.throttle_max <= 1.0))
+      fail("throttle band requires 0 < throttle_min <= throttle_max <= 1");
+  }
+}
+
+/// Exponential draw with the scenario generator's exact idiom:
+/// mean * -log1p(-u), u in [0, 1) — never infinite, zero only at u == 0.
+double exponential(util::Rng& rng, double mean) {
+  return mean * -std::log1p(-rng.uniform());
+}
+
+}  // namespace
+
+std::vector<ScenarioEvent> sample_fault_events(const FaultProcess& p,
+                                               std::size_t boards,
+                                               double horizon_s,
+                                               std::uint64_t seed) {
+  validate(p);
+  if (!(std::isfinite(horizon_s) && horizon_s >= 0.0))
+    fail("horizon_s must be finite and >= 0");
+
+  std::vector<ScenarioEvent> events;
+  for (std::size_t b = 0; b < boards; ++b) {
+    util::Rng rng(util::fork_stream(seed, b));
+    double t = 0.0;
+    for (;;) {
+      t += exponential(rng, p.mtbf_s);  // healthy dwell
+      if (t > horizon_s) break;
+      ScenarioEvent onset;
+      onset.time_s = t;
+      onset.board = b;
+      // Guarded throttle coin: a 0 fraction consumes no draws, so fail-only
+      // processes keep their event streams bit-identical.
+      if (p.throttle_fraction > 0.0 && rng.chance(p.throttle_fraction)) {
+        onset.kind = ScenarioEventKind::kThrottleBoard;
+        onset.factor = rng.uniform(p.throttle_min, p.throttle_max);
+      } else {
+        onset.kind = ScenarioEventKind::kFailBoard;
+      }
+      events.push_back(onset);
+      t += exponential(rng, p.mttr_s);  // repair dwell
+      if (t > horizon_s) break;         // truncated cycle: stays degraded
+      ScenarioEvent recover;
+      recover.time_s = t;
+      recover.kind = ScenarioEventKind::kRecoverBoard;
+      recover.board = b;
+      events.push_back(recover);
+    }
+  }
+  // Per-board lists are time-ordered and appended in board order, so a
+  // stable sort on time alone yields (time, board) order.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return events;
+}
+
+Scenario with_faults(const Scenario& base, const FaultProcess& p,
+                     std::size_t boards, std::uint64_t seed) {
+  const double horizon_s = base.empty() ? 0.0 : base.events().back().time_s;
+  const std::vector<ScenarioEvent> faults =
+      sample_fault_events(p, boards, horizon_s, seed);
+  if (faults.empty()) return base;
+  std::vector<ScenarioEvent> merged;
+  merged.reserve(base.size() + faults.size());
+  // std::merge keeps first-range elements first on ties: mix events precede
+  // fault events at equal timestamps, so the arrive/depart replay is
+  // untouched by the weave.
+  std::merge(base.events().begin(), base.events().end(), faults.begin(),
+             faults.end(), std::back_inserter(merged),
+             [](const ScenarioEvent& a, const ScenarioEvent& b) {
+               return a.time_s < b.time_s;
+             });
+  return Scenario(std::move(merged));
+}
+
+FaultProcess parse_fault_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string::size_type pos = 0;
+  for (;;) {
+    const auto colon = spec.find(':', pos);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(pos));
+      break;
+    }
+    parts.push_back(spec.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+
+  const auto number = [&](const std::string& field,
+                          const std::string& text) -> double {
+    std::istringstream in(text);
+    double value = 0.0;
+    if (!(in >> value) || !in.eof() || !std::isfinite(value))
+      fail("spec '" + spec + "': bad " + field + " '" + text + "'");
+    return value;
+  };
+  const auto usage = [&]() {
+    fail("spec '" + spec +
+         "': mtbf:<s>:mttr:<s>[:throttle:<fraction>[:<min>:<max>]]");
+  };
+
+  FaultProcess p;
+  if (parts.size() != 4 && parts.size() != 6 && parts.size() != 8) usage();
+  if (parts[0] != "mtbf" || parts[2] != "mttr") usage();
+  p.mtbf_s = number("mtbf", parts[1]);
+  p.mttr_s = number("mttr", parts[3]);
+  if (parts.size() >= 6) {
+    if (parts[4] != "throttle") usage();
+    p.throttle_fraction = number("throttle fraction", parts[5]);
+  }
+  if (parts.size() == 8) {
+    p.throttle_min = number("throttle min", parts[6]);
+    p.throttle_max = number("throttle max", parts[7]);
+  }
+  validate(p);
+  return p;
+}
+
+std::string describe(const FaultProcess& p) {
+  std::ostringstream out;
+  out << "faults(mtbf " << p.mtbf_s << " s, mttr " << p.mttr_s << " s";
+  if (p.throttle_fraction > 0.0)
+    out << ", throttle " << p.throttle_fraction * 100.0 << "% ["
+        << p.throttle_min << ", " << p.throttle_max << "]";
+  out << ")";
+  return out.str();
+}
+
+}  // namespace omniboost::workload

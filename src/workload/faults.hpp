@@ -1,0 +1,75 @@
+#pragma once
+/// \file faults.hpp
+/// Seeded board-fault processes: where workload::Scenario can script
+/// `fail`/`throttle`/`recover` clauses by hand, a FaultProcess describes the
+/// *law* they are drawn from — an alternating-renewal process per board
+/// (healthy for Exponential(mtbf_s), then failed or throttled for
+/// Exponential(mttr_s), then recovered) — and with_faults() weaves the drawn
+/// fault events into an arrival scenario deterministically.
+///
+/// Each board samples from its own `util::fork_stream(seed, board)`
+/// substream, so board i's fault history is bit-identical whatever the fleet
+/// size and whatever the other boards drew — the same substream-independence
+/// contract the dataset generator and arrival sweeps rely on. A process with
+/// throttle_fraction == 0 consumes exactly two draws per fault cycle
+/// (uptime, repair time); the throttle coin and factor draws are guarded so
+/// fail-only configs reproduce their event streams bit-for-bit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.hpp"
+
+namespace omniboost::workload {
+
+/// An alternating-renewal board-fault law. Every board independently cycles
+/// healthy -> faulted -> healthy; each fault is a hard failure with
+/// probability 1 - throttle_fraction, otherwise a throttle to a speed factor
+/// drawn uniformly from [throttle_min, throttle_max].
+struct FaultProcess {
+  /// Mean time between failures: healthy dwell is Exponential(1/mtbf_s)
+  /// (> 0, finite).
+  double mtbf_s = 60.0;
+  /// Mean time to repair: faulted dwell is Exponential(1/mttr_s)
+  /// (> 0, finite).
+  double mttr_s = 10.0;
+  /// Probability a fault is a throttle instead of a hard failure, in
+  /// [0, 1]. The default 0 consumes no throttle draws at all, so fail-only
+  /// processes sample byte-identical event streams whatever the band says.
+  double throttle_fraction = 0.0;
+  /// Throttle speed-factor band, 0 < throttle_min <= throttle_max <= 1.
+  double throttle_min = 0.25;
+  double throttle_max = 0.75;
+};
+
+/// Draws the fault events of \p boards boards over [0, horizon_s], merged
+/// into one time-ordered list (ties broken by board index). Board b draws
+/// from `util::Rng(util::fork_stream(seed, b))`. A fault cycle still open at
+/// the horizon is truncated: the fail/throttle event is kept and no recover
+/// is emitted, leaving the board degraded through the end of the scenario.
+/// Throws std::invalid_argument on invalid process parameters or a
+/// non-finite/negative horizon.
+std::vector<ScenarioEvent> sample_fault_events(const FaultProcess& process,
+                                               std::size_t boards,
+                                               double horizon_s,
+                                               std::uint64_t seed);
+
+/// Weaves the fault events drawn from (\p process, \p boards, \p seed) over
+/// the base scenario's time span into \p base. Mix events come first at
+/// timestamp ties, so the faulted scenario replays the identical
+/// arrive/depart stream. A fault-free draw (or an empty base) returns a
+/// scenario equal to \p base.
+Scenario with_faults(const Scenario& base, const FaultProcess& process,
+                     std::size_t boards, std::uint64_t seed);
+
+/// Parses the CLI spec grammar (throws std::invalid_argument on anything
+/// else; all numbers must be finite and in range):
+///   mtbf:<s>:mttr:<s>[:throttle:<fraction>[:<min>:<max>]]
+FaultProcess parse_fault_spec(const std::string& spec);
+
+/// One-line human-readable summary,
+/// e.g. "faults(mtbf 60 s, mttr 10 s, throttle 30% [0.25, 0.75])".
+std::string describe(const FaultProcess& process);
+
+}  // namespace omniboost::workload

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "util/require.hpp"
@@ -22,6 +23,10 @@ std::vector<models::ModelId> replay(const std::vector<ScenarioEvent>& events,
                                     std::vector<double>* slos_out = nullptr) {
   std::vector<models::ModelId> present;
   std::vector<double> slos;
+  // Per-board health for the fault-event legality rules. Keyed by board
+  // index (the scenario layer does not know the fleet size); 'F' = failed,
+  // 'T' = throttled, absent = healthy.
+  std::map<std::size_t, char> board_state;
   double prev_time = 0.0;
   for (std::size_t i = 0; i < upto; ++i) {
     const ScenarioEvent& e = events[i];
@@ -33,6 +38,52 @@ std::vector<models::ModelId> replay(const std::vector<ScenarioEvent>& events,
     if (!(e.slo_ms >= 0.0) || !std::isfinite(e.slo_ms))
       throw std::invalid_argument("Scenario: SLO must be finite and >= 0 ms");
     prev_time = e.time_s;
+    if (is_fault_event(e.kind)) {
+      if (e.slo_ms != 0.0)
+        throw std::invalid_argument(
+            "Scenario: fault events cannot carry an SLO");
+      const auto state = board_state.find(e.board);
+      const bool failed = state != board_state.end() && state->second == 'F';
+      const bool throttled =
+          state != board_state.end() && state->second == 'T';
+      switch (e.kind) {
+        case ScenarioEventKind::kFailBoard:
+          if (e.factor != 0.0)
+            throw std::invalid_argument(
+                "Scenario: only throttle events carry a factor");
+          if (failed)
+            throw std::invalid_argument(
+                "Scenario: board " + std::to_string(e.board) +
+                " fails while already failed");
+          board_state[e.board] = 'F';
+          break;
+        case ScenarioEventKind::kThrottleBoard:
+          if (!(e.factor > 0.0) || !(e.factor <= 1.0) ||
+              !std::isfinite(e.factor))
+            throw std::invalid_argument(
+                "Scenario: throttle factor must be in (0, 1]");
+          if (failed)
+            throw std::invalid_argument(
+                "Scenario: board " + std::to_string(e.board) +
+                " throttles while failed");
+          board_state[e.board] = 'T';
+          break;
+        default:  // kRecoverBoard
+          if (e.factor != 0.0)
+            throw std::invalid_argument(
+                "Scenario: only throttle events carry a factor");
+          if (!failed && !throttled)
+            throw std::invalid_argument(
+                "Scenario: board " + std::to_string(e.board) +
+                " recovers while healthy");
+          board_state.erase(e.board);
+          break;
+      }
+      continue;  // fault events never touch the mix
+    }
+    if (e.board != 0 || e.factor != 0.0)
+      throw std::invalid_argument(
+          "Scenario: board/factor fields are fault-event-only");
     const auto it = std::find(present.begin(), present.end(), e.model);
     if (e.kind == ScenarioEventKind::kArrive) {
       if (it != present.end())
@@ -84,9 +135,23 @@ bool Scenario::has_slos() const {
                      [](const ScenarioEvent& e) { return e.slo_ms > 0.0; });
 }
 
+bool Scenario::has_faults() const {
+  return std::any_of(events_.begin(), events_.end(), [](const ScenarioEvent& e) {
+    return is_fault_event(e.kind);
+  });
+}
+
+std::size_t Scenario::fault_board_span() const {
+  std::size_t span = 0;
+  for (const ScenarioEvent& e : events_)
+    if (is_fault_event(e.kind)) span = std::max(span, e.board + 1);
+  return span;
+}
+
 std::size_t Scenario::peak_concurrency() const {
   std::size_t present = 0, peak = 0;
   for (const ScenarioEvent& e : events_) {
+    if (is_fault_event(e.kind)) continue;  // the mix is untouched
     if (e.kind == ScenarioEventKind::kArrive)
       peak = std::max(peak, ++present);
     else
@@ -174,6 +239,19 @@ std::string serialize_scenario(const Scenario& scenario) {
     std::snprintf(buf, sizeof(buf), "%.17g", e.time_s);
     out += "at ";
     out += buf;
+    if (is_fault_event(e.kind)) {
+      out += e.kind == ScenarioEventKind::kFailBoard      ? " fail board "
+             : e.kind == ScenarioEventKind::kThrottleBoard ? " throttle board "
+                                                           : " recover board ";
+      out += std::to_string(e.board);
+      if (e.kind == ScenarioEventKind::kThrottleBoard) {
+        std::snprintf(buf, sizeof(buf), "%.17g", e.factor);
+        out += ' ';
+        out += buf;
+      }
+      out += '\n';
+      continue;
+    }
     out += e.kind == ScenarioEventKind::kArrive ? " arrive " : " depart ";
     out += std::string(models::model_name(e.model));
     if (e.slo_ms > 0.0) {
@@ -204,6 +282,24 @@ Scenario parse_scenario(std::istream& in) {
     if (!(ls >> e.time_s)) fail("missing or malformed timestamp");
     std::string kind, model;
     if (!(ls >> kind >> model)) fail("missing event kind or model name");
+    if (kind == "fail" || kind == "throttle" || kind == "recover") {
+      e.kind = kind == "fail"       ? ScenarioEventKind::kFailBoard
+               : kind == "throttle" ? ScenarioEventKind::kThrottleBoard
+                                    : ScenarioEventKind::kRecoverBoard;
+      if (model != "board")
+        fail("expected 'board <index>' after '" + kind + "'");
+      long long board = -1;
+      if (!(ls >> board) || board < 0) fail("'board' needs an index >= 0");
+      e.board = static_cast<std::size_t>(board);
+      if (e.kind == ScenarioEventKind::kThrottleBoard &&
+          (!(ls >> e.factor) || !(e.factor > 0.0) || !(e.factor <= 1.0) ||
+           !std::isfinite(e.factor)))
+        fail("'throttle' needs a factor in (0, 1]");
+      if (ls >> word && word[0] != '#')
+        fail("trailing tokens after fault clause");
+      events.push_back(e);
+      continue;
+    }
     if (kind == "arrive")
       e.kind = ScenarioEventKind::kArrive;
     else if (kind == "depart")

@@ -20,6 +20,21 @@
 /// end-to-end frame latency target while it is on the board. SLOs are
 /// optional — events without the clause serialize exactly as before, so
 /// pre-SLO traces round-trip bit-identically.
+///
+/// Fleet fault events ride the same script (consumed by core::Cluster;
+/// workload/faults.hpp generates them from an MTBF/MTTR process):
+///
+///     at 4 fail board 1
+///     at 5 throttle board 0 0.5
+///     at 9 recover board 1
+///
+/// `fail` takes a board out of service, `throttle <factor>` slows a live
+/// board to the given speed fraction (0 < factor <= 1), and `recover`
+/// restores a failed or throttled board to full health. Validation enforces
+/// per-board legality: a board fails only while not already failed,
+/// throttles only while not failed, and recovers only while failed or
+/// throttled. Fault events never touch the concurrent mix, and fault-free
+/// scenarios serialize byte-identically to the pre-fault format.
 
 #include <iosfwd>
 #include <string>
@@ -31,22 +46,45 @@
 
 namespace omniboost::workload {
 
-/// What happens to a model stream at an event.
-enum class ScenarioEventKind { kArrive, kDepart };
+/// What happens at an event: a model stream joins/leaves the mix, or a
+/// board of the serving fleet changes health (fault events; see the file
+/// header for the trace clauses and legality rules).
+enum class ScenarioEventKind {
+  kArrive,
+  kDepart,
+  kFailBoard,      ///< board goes out of service
+  kThrottleBoard,  ///< board slows to `factor` of full speed
+  kRecoverBoard,   ///< board returns to full health
+};
 
-/// One change to the concurrent mix.
+/// True for the board-health event kinds (fail/throttle/recover).
+constexpr bool is_fault_event(ScenarioEventKind kind) {
+  return kind == ScenarioEventKind::kFailBoard ||
+         kind == ScenarioEventKind::kThrottleBoard ||
+         kind == ScenarioEventKind::kRecoverBoard;
+}
+
+/// One change to the concurrent mix or the fleet's health.
 struct ScenarioEvent {
   double time_s = 0.0;  ///< event timestamp (seconds since scenario start)
   ScenarioEventKind kind = ScenarioEventKind::kArrive;
   models::ModelId model = models::ModelId::kAlexNet;
   /// Latency SLO of the arriving stream in milliseconds; 0 = none. The SLO
-  /// stays attached to the stream until it departs. Departures never carry
-  /// one (enforced at construction).
+  /// stays attached to the stream until it departs. Departures and fault
+  /// events never carry one (enforced at construction).
   double slo_ms = 0.0;
+  /// Fault events only: the fleet board the event targets. The scenario
+  /// layer does not know the fleet size — core::Cluster range-checks the
+  /// index against its own board count at replay time. Must stay 0 on
+  /// arrive/depart events.
+  std::size_t board = 0;
+  /// kThrottleBoard only: the speed fraction the board drops to, in
+  /// (0, 1]. Must stay 0 on every other kind.
+  double factor = 0.0;
 
   bool operator==(const ScenarioEvent& rhs) const {
     return time_s == rhs.time_s && kind == rhs.kind && model == rhs.model &&
-           slo_ms == rhs.slo_ms;
+           slo_ms == rhs.slo_ms && board == rhs.board && factor == rhs.factor;
   }
   bool operator!=(const ScenarioEvent& rhs) const { return !(*this == rhs); }
 };
@@ -81,7 +119,16 @@ class Scenario {
   /// True when any arrival carries a latency SLO.
   bool has_slos() const;
 
-  /// Largest concurrent mix size reached over the scenario.
+  /// True when the scenario carries any fail/throttle/recover event.
+  bool has_faults() const;
+
+  /// Largest board index any fault event references plus one (0 for
+  /// fault-free scenarios) — the minimum fleet size that can replay this
+  /// scenario.
+  std::size_t fault_board_span() const;
+
+  /// Largest concurrent mix size reached over the scenario (fault events
+  /// never change the mix).
   std::size_t peak_concurrency() const;
 
   /// Human-readable one-line summary, e.g. "8 events / 12.4 s / peak 4".
@@ -126,7 +173,9 @@ Scenario random_scenario(util::Rng& rng, const ScenarioConfig& config = {});
 std::string serialize_scenario(const Scenario& scenario);
 
 /// Parses the text trace format: one
-/// `at <time> <arrive|depart> <model> [slo <ms>]` statement per line; blank
+/// `at <time> <arrive|depart> <model> [slo <ms>]` or
+/// `at <time> <fail|recover> board <index>` or
+/// `at <time> throttle board <index> <factor>` statement per line; blank
 /// lines and `#` comments are ignored. Model names go through
 /// models::parse_model_name (case-insensitive, dash-tolerant). The `slo`
 /// clause is legal on arrivals only.

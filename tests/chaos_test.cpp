@@ -1,0 +1,194 @@
+// Chaos layer: randomized fault scenarios against a small fleet. 50+ seeds
+// of Poisson arrivals woven with seeded board-fault processes replay through
+// core::Cluster; every run must
+//  * conserve streams: admitted = departures + shed + resident
+//  * keep every report field finite and self-consistent
+//  * replay byte-identically when rerun (no state leaks through failures,
+//    throttles, or recoveries)
+// Registered under the `chaos` ctest label (tools/run_tier1.sh runs the lane
+// standalone, so the CI sanitizer matrix visibly exercises the fault paths).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "sched/greedy.hpp"
+#include "util/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/faults.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace omniboost;
+using core::Cluster;
+using core::ClusterConfig;
+using core::ClusterReport;
+using workload::Scenario;
+
+const models::ModelZoo& zoo() {
+  static const models::ModelZoo z;
+  return z;
+}
+
+core::SchedulerFactory greedy_factory(const Cluster& cluster) {
+  return [&cluster](std::size_t i) -> std::unique_ptr<core::IScheduler> {
+    return std::make_unique<sched::GreedyScheduler>(
+        zoo(), cluster.boards()[i].device);
+  };
+}
+
+/// Draws a seed-dependent offered load and fault law: arrival rates span
+/// light to saturating, fault processes span occasional hard failures to
+/// churning throttle storms, and some seeds leave boards degraded through
+/// the horizon (truncated fault cycles).
+Scenario chaos_scenario(std::uint64_t seed, std::size_t boards) {
+  util::Rng rng(util::fork_stream(seed, 100));
+  workload::ArrivalProcess p;
+  p.rate_per_s = rng.uniform(0.1, 1.0);
+  p.mean_lifetime_s = rng.uniform(3.0, 15.0);
+  p.max_concurrent = 2 + rng.below(models::kNumModels - 1);
+  p.slo_fraction = rng.chance(0.5) ? rng.uniform(0.1, 0.6) : 0.0;
+  const double horizon_s = rng.uniform(15.0, 40.0);
+  util::Rng arrivals(util::fork_stream(seed, 0));
+  const Scenario base = workload::sample_scenario(p, horizon_s, arrivals);
+  if (base.empty()) return base;
+
+  workload::FaultProcess fp;
+  fp.mtbf_s = rng.uniform(3.0, 25.0);
+  fp.mttr_s = rng.uniform(1.0, 10.0);
+  fp.throttle_fraction = rng.uniform(0.0, 1.0);
+  return workload::with_faults(base, fp, boards, seed);
+}
+
+/// %.17g over every double so two reports compare equal iff bit-equal.
+void put(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g|", v);
+  out += buf;
+}
+void put(std::string& out, std::size_t v) { out += std::to_string(v) + "|"; }
+
+std::string fingerprint(const ClusterReport& r) {
+  std::string out;
+  for (const core::ServingReport& b : r.boards) {
+    for (const core::EpochReport& ep : b.epochs) {
+      out += ep.event + "|" + ep.mix + "|";
+      for (const sim::Assignment& a : ep.decision.mapping.assignments())
+        for (const device::ComponentId c : a)
+          out += std::to_string(static_cast<int>(c));
+      put(out, ep.measured_throughput);
+      put(out, ep.churn);
+      put(out, ep.migration_stall_s);
+    }
+    out += "==";
+  }
+  put(out, r.offered_streams);
+  put(out, r.admitted_streams);
+  put(out, r.rejected_streams);
+  put(out, r.departures);
+  put(out, r.rejected_departures);
+  put(out, r.migrations);
+  put(out, r.board_failures);
+  put(out, r.board_throttles);
+  put(out, r.board_recoveries);
+  put(out, r.failovers);
+  put(out, r.failover_stall_s);
+  put(out, r.failover_weight_bytes);
+  put(out, r.shed_streams);
+  put(out, r.shed_departures);
+  put(out, r.rebalances);
+  put(out, r.rebalance_stall_s);
+  put(out, r.downtime_board_s);
+  put(out, r.degraded_epochs);
+  put(out, r.resident_streams);
+  put(out, r.fleet_throughput);
+  return out;
+}
+
+TEST(ClusterChaos, RandomFaultScenariosConserveStreamsAndReplayExactly) {
+  constexpr std::size_t kBoards = 3;
+  constexpr std::uint64_t kSeeds = 50;
+  const std::vector<core::BoardSpec> fleet =
+      core::make_heterogeneous_fleet(kBoards);
+
+  std::size_t nonempty = 0, with_faults = 0, with_failovers = 0,
+              with_shedding = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Scenario s = chaos_scenario(seed, kBoards);
+    if (s.empty()) continue;
+    ++nonempty;
+    if (s.has_faults()) ++with_faults;
+
+    // Half the seeds rebalance on recovery, so both paths chaos-test.
+    ClusterConfig cc;
+    cc.rebalance_on_recovery = (seed % 2 == 0);
+    const Cluster cluster(zoo(), fleet, cc);
+    const auto policy = core::make_placement_policy(
+        core::placement_policy_kinds()[seed %
+                                       core::placement_policy_kinds().size()]);
+    const ClusterReport rep =
+        cluster.run(greedy_factory(cluster), s, *policy);
+
+    // Stream conservation, the tentpole invariant: every admitted stream
+    // departed, was shed at a failure, or is still resident at the horizon.
+    EXPECT_EQ(rep.admitted_streams,
+              rep.departures + rep.shed_streams + rep.resident_streams)
+        << "seed " << seed;
+    EXPECT_EQ(rep.admitted_streams + rep.rejected_streams,
+              rep.offered_streams)
+        << "seed " << seed;
+
+    // Fault accounting is self-consistent.
+    EXPECT_LE(rep.board_recoveries, rep.board_failures + rep.board_throttles)
+        << "seed " << seed;
+    EXPECT_LE(rep.shed_departures, rep.shed_streams) << "seed " << seed;
+    if (rep.failovers == 0) {
+      EXPECT_EQ(rep.failover_stall_s, 0.0) << "seed " << seed;
+      EXPECT_EQ(rep.failover_weight_bytes, 0.0) << "seed " << seed;
+    }
+
+    // Every double in the report is finite; downtime fits the horizon.
+    const double horizon = s.events().back().time_s;
+    for (const double v :
+         {rep.rejection_rate, rep.cross_board_stall_s,
+          rep.cross_board_weight_bytes, rep.failover_stall_s,
+          rep.failover_weight_bytes, rep.rebalance_stall_s,
+          rep.downtime_board_s, rep.fleet_throughput,
+          rep.total_migration_stall_s})
+      EXPECT_TRUE(std::isfinite(v) && v >= 0.0) << "seed " << seed;
+    EXPECT_LE(rep.downtime_board_s, horizon * kBoards + 1e-9)
+        << "seed " << seed;
+    for (const core::ServingReport& b : rep.boards)
+      for (const core::EpochReport& ep : b.epochs)
+        EXPECT_TRUE(std::isfinite(ep.measured_throughput) &&
+                    ep.measured_throughput >= 0.0)
+            << "seed " << seed;
+
+    // Byte-identical rerun on a freshly-built cluster: failures, throttles,
+    // and shedding leave no cross-run state behind.
+    const Cluster rebuilt(zoo(), fleet, cc);
+    const auto policy2 = core::make_placement_policy(policy->name());
+    EXPECT_EQ(fingerprint(rep),
+              fingerprint(rebuilt.run(greedy_factory(rebuilt), s, *policy2)))
+        << "seed " << seed;
+
+    if (rep.failovers > 0) ++with_failovers;
+    if (rep.shed_streams > 0) ++with_shedding;
+  }
+
+  // The chaos corpus must actually exercise the machinery to mean anything.
+  EXPECT_GE(nonempty, 40u);
+  EXPECT_GE(with_faults, 30u);
+  EXPECT_GE(with_failovers, 5u);
+  std::printf("chaos: %zu scenarios, %zu faulted, %zu with failovers, %zu "
+              "with shedding\n",
+              nonempty, with_faults, with_failovers, with_shedding);
+}
+
+}  // namespace

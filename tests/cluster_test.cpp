@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "sched/greedy.hpp"
 #include "util/rng.hpp"
 #include "workload/arrival.hpp"
+#include "workload/faults.hpp"
 #include "workload/scenario.hpp"
 
 namespace {
@@ -149,6 +151,19 @@ std::string fingerprint(const ClusterReport& r) {
   put(out, r.migrations);
   put(out, r.cross_board_stall_s);
   put(out, r.cross_board_weight_bytes);
+  put(out, r.board_failures);
+  put(out, r.board_throttles);
+  put(out, r.board_recoveries);
+  put(out, r.failovers);
+  put(out, r.failover_stall_s);
+  put(out, r.failover_weight_bytes);
+  put(out, r.shed_streams);
+  put(out, r.shed_departures);
+  put(out, r.rebalances);
+  put(out, r.rebalance_stall_s);
+  put(out, r.downtime_board_s);
+  put(out, r.degraded_epochs);
+  put(out, r.resident_streams);
   put(out, r.decisions);
   put(out, r.fleet_throughput);
   put(out, r.total_slo_streams);
@@ -510,6 +525,213 @@ TEST(ClusterBounds, MemoryLowerBoundAndLatencyFloorBehave) {
       cost, zoo().network(ModelId::kVgg19));
   EXPECT_GT(alex, spec().per_inference_overhead_s);
   EXPECT_GT(vgg, alex);
+}
+
+TEST(ClusterConfigValidation, RejectsBadTransferAndStallCapFields) {
+  const std::vector<BoardSpec> fleet = core::make_heterogeneous_fleet(1);
+  const auto bad = [&](auto mutate) {
+    ClusterConfig cc;
+    mutate(cc);
+    EXPECT_THROW(Cluster(zoo(), fleet, cc), std::invalid_argument);
+  };
+  bad([](ClusterConfig& cc) { cc.cross_board_gbps = 0.0; });
+  bad([](ClusterConfig& cc) { cc.cross_board_gbps = -1.0; });
+  bad([](ClusterConfig& cc) {
+    cc.cross_board_gbps = std::numeric_limits<double>::quiet_NaN();
+  });
+  bad([](ClusterConfig& cc) {
+    cc.cross_board_gbps = std::numeric_limits<double>::infinity();
+  });
+  bad([](ClusterConfig& cc) { cc.max_migration_stall_s = -0.5; });
+  bad([](ClusterConfig& cc) {
+    cc.max_migration_stall_s = std::numeric_limits<double>::quiet_NaN();
+  });
+  // The defaults themselves construct fine.
+  EXPECT_NO_THROW(Cluster(zoo(), fleet, ClusterConfig{}));
+}
+
+// --- Fault tolerance ------------------------------------------------------
+
+TEST(ClusterFaults, SingleBoardFailureFailsOverAndConserves) {
+  // Three stock-ish boards, three streams placed round the fleet, then board
+  // holding at least one stream fails. least-loaded routes the three
+  // arrivals to boards 0,1,2 in order, so failing board 1 evacuates VGG-16.
+  const Cluster cluster(zoo(), core::make_heterogeneous_fleet(3),
+                        ClusterConfig{});
+  const Scenario s = workload::parse_scenario(
+      "at 0 arrive AlexNet\n"
+      "at 1 arrive VGG-16\n"
+      "at 2 arrive MobileNet\n"
+      "at 5 fail board 1\n"
+      "at 8 depart VGG-16\n"
+      "at 9 depart AlexNet\n"
+      "at 10 recover board 1\n"
+      "at 12 depart MobileNet\n");
+  const auto policy = core::make_placement_policy("least-loaded");
+  const ClusterReport rep = cluster.run(greedy_factory(cluster), s, *policy);
+
+  EXPECT_EQ(rep.board_failures, 1u);
+  EXPECT_EQ(rep.board_recoveries, 1u);
+  EXPECT_EQ(rep.failovers, 1u);
+  EXPECT_EQ(rep.shed_streams, 0u);  // survivors had room
+  EXPECT_GT(rep.failover_stall_s, 0.0);
+  EXPECT_DOUBLE_EQ(
+      rep.failover_weight_bytes,
+      zoo().network(ModelId::kVgg16).total_weight_bytes());
+  // Downtime is exactly the fail->recover window.
+  EXPECT_DOUBLE_EQ(rep.downtime_board_s, 5.0);
+  // Conservation: every admitted stream departed, was shed, or is resident.
+  EXPECT_EQ(rep.admitted_streams, 3u);
+  EXPECT_EQ(rep.admitted_streams,
+            rep.departures + rep.shed_streams + rep.resident_streams);
+  EXPECT_EQ(rep.resident_streams, 0u);  // fully drained
+  // The evacuated stream's departure resolved on its new board.
+  EXPECT_EQ(rep.departures, 3u);
+}
+
+TEST(ClusterFaults, FailureWithNoSurvivorsShedsAndSwallowsDepartures) {
+  // A 1-board fleet: failing the only board shed its resident streams; their
+  // later departures are swallowed as shed, not applied or rejected.
+  const Cluster cluster(zoo(), core::make_heterogeneous_fleet(1),
+                        ClusterConfig{});
+  const Scenario s = workload::parse_scenario(
+      "at 0 arrive AlexNet\n"
+      "at 1 arrive MobileNet\n"
+      "at 3 fail board 0\n"
+      "at 5 depart AlexNet\n"
+      "at 6 depart MobileNet\n");
+  const auto policy = core::make_placement_policy("least-loaded");
+  const ClusterReport rep = cluster.run(greedy_factory(cluster), s, *policy);
+  EXPECT_EQ(rep.admitted_streams, 2u);
+  EXPECT_EQ(rep.shed_streams, 2u);
+  EXPECT_EQ(rep.shed_departures, 2u);
+  EXPECT_EQ(rep.failovers, 0u);
+  EXPECT_EQ(rep.departures, 0u);
+  EXPECT_EQ(rep.rejected_departures, 0u);
+  EXPECT_EQ(rep.admitted_streams,
+            rep.departures + rep.shed_streams + rep.resident_streams);
+  // The board stayed down through the end: downtime = horizon - fail time.
+  EXPECT_DOUBLE_EQ(rep.downtime_board_s, 3.0);
+  // A failed board admits nothing: a post-failure arrival is rejected.
+  const Scenario s2 = workload::parse_scenario(
+      "at 0 arrive AlexNet\n"
+      "at 1 fail board 0\n"
+      "at 2 arrive MobileNet\n");
+  const auto policy2 = core::make_placement_policy("least-loaded");
+  const ClusterReport rep2 =
+      cluster.run(greedy_factory(cluster), s2, *policy2);
+  EXPECT_EQ(rep2.rejected_streams, 1u);
+  EXPECT_EQ(rep2.shed_streams, 1u);
+}
+
+TEST(ClusterFaults, ThrottleDegradesThroughputUntilRecovery) {
+  const Cluster cluster(zoo(), core::make_heterogeneous_fleet(1),
+                        ClusterConfig{});
+  const Scenario plain = workload::parse_scenario("at 0 arrive AlexNet\n");
+  const Scenario throttled = workload::parse_scenario(
+      "at 0 arrive AlexNet\n"
+      "at 2 throttle board 0 0.25\n"
+      "at 4 recover board 0\n");
+  const auto policy = core::make_placement_policy("least-loaded");
+  const ClusterReport base =
+      cluster.run(greedy_factory(cluster), plain, *policy);
+  const auto policy2 = core::make_placement_policy("least-loaded");
+  const ClusterReport rep =
+      cluster.run(greedy_factory(cluster), throttled, *policy2);
+
+  EXPECT_EQ(rep.board_throttles, 1u);
+  EXPECT_EQ(rep.board_recoveries, 1u);
+  EXPECT_GE(rep.degraded_epochs, 1u);
+  EXPECT_EQ(rep.downtime_board_s, 0.0);  // throttled is degraded, not down
+  // The board re-decided at the throttle and at recovery: three epochs, and
+  // the throttled one serves at a fraction of the healthy rate.
+  ASSERT_EQ(rep.boards[0].epochs.size(), 3u);
+  const double healthy = base.boards[0].epochs[0].measured_throughput;
+  const double degraded = rep.boards[0].epochs[1].measured_throughput;
+  const double recovered = rep.boards[0].epochs[2].measured_throughput;
+  EXPECT_LT(degraded, healthy * 0.5);
+  EXPECT_DOUBLE_EQ(recovered, healthy);
+  // Residency, not departure: the stream rides the throttle.
+  EXPECT_EQ(rep.resident_streams, 1u);
+  EXPECT_EQ(rep.admitted_streams,
+            rep.departures + rep.shed_streams + rep.resident_streams);
+}
+
+TEST(ClusterFaults, RecoveryRebalancePullsAStreamBackWhenEnabled) {
+  // Two identical boards; board 1 fails, its stream fails over to board 0
+  // (which then holds 2 streams vs the recovered board's 0). With
+  // rebalance_on_recovery the recovery pulls one stream back.
+  const std::vector<BoardSpec> fleet = {BoardSpec{"a", spec()},
+                                        BoardSpec{"b", spec()}};
+  const Scenario s = workload::parse_scenario(
+      "at 0 arrive AlexNet\n"
+      "at 1 arrive MobileNet\n"
+      "at 3 fail board 1\n"
+      "at 6 recover board 1\n"
+      "at 10 depart AlexNet\n"
+      "at 11 depart MobileNet\n");
+  ClusterConfig cc;
+  cc.rebalance_on_recovery = true;
+  const Cluster on(zoo(), fleet, cc);
+  const auto policy = core::make_placement_policy("least-loaded");
+  const ClusterReport rep = on.run(greedy_factory(on), s, *policy);
+  EXPECT_EQ(rep.failovers, 1u);
+  EXPECT_EQ(rep.rebalances, 1u);
+  EXPECT_GT(rep.rebalance_stall_s, 0.0);
+  EXPECT_EQ(rep.departures, 2u);
+  EXPECT_EQ(rep.admitted_streams,
+            rep.departures + rep.shed_streams + rep.resident_streams);
+
+  // Off by default: the recovered board stays empty.
+  const Cluster off(zoo(), fleet, ClusterConfig{});
+  const auto policy2 = core::make_placement_policy("least-loaded");
+  const ClusterReport rep2 = off.run(greedy_factory(off), s, *policy2);
+  EXPECT_EQ(rep2.rebalances, 0u);
+  EXPECT_EQ(rep2.departures, 2u);
+}
+
+TEST(ClusterFaults, FaultScenarioSpanningMoreBoardsThanFleetIsRejected) {
+  const Cluster cluster(zoo(), core::make_heterogeneous_fleet(2),
+                        ClusterConfig{});
+  const Scenario s = workload::parse_scenario(
+      "at 0 arrive AlexNet\n"
+      "at 1 fail board 5\n");
+  const auto policy = core::make_placement_policy("least-loaded");
+  EXPECT_THROW(cluster.run(greedy_factory(cluster), s, *policy),
+               std::invalid_argument);
+}
+
+TEST(ClusterFaults, FaultedRunsAreByteIdenticalAcrossReruns) {
+  workload::ArrivalProcess p;
+  p.rate_per_s = 0.5;
+  p.mean_lifetime_s = 10.0;
+  p.max_concurrent = 5;
+  util::Rng rng(util::fork_stream(61, 0));
+  const Scenario base = workload::sample_scenario(p, 30.0, rng);
+  ASSERT_FALSE(base.empty());
+  workload::FaultProcess fp;
+  fp.mtbf_s = 8.0;
+  fp.mttr_s = 4.0;
+  fp.throttle_fraction = 0.5;
+  const Scenario s = workload::with_faults(base, fp, 3, 61);
+  ASSERT_TRUE(s.has_faults());
+
+  ClusterConfig cc;
+  cc.rebalance_on_recovery = true;
+  const std::vector<BoardSpec> fleet = core::make_heterogeneous_fleet(3);
+  const Cluster cluster(zoo(), fleet, cc);
+  const auto policy = core::make_placement_policy("least-loaded");
+  const std::string first =
+      fingerprint(cluster.run(greedy_factory(cluster), s, *policy));
+  const auto policy2 = core::make_placement_policy("least-loaded");
+  EXPECT_EQ(first,
+            fingerprint(cluster.run(greedy_factory(cluster), s, *policy2)));
+  // And a freshly-built cluster replays the same bytes (no state leaks
+  // through throttles or downed boards between runs).
+  const Cluster rebuilt(zoo(), fleet, cc);
+  const auto policy3 = core::make_placement_policy("least-loaded");
+  EXPECT_EQ(first,
+            fingerprint(rebuilt.run(greedy_factory(rebuilt), s, *policy3)));
 }
 
 TEST(ClusterConfigValidation, RejectsEmptyFleetAndNullFactory) {

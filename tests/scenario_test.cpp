@@ -9,6 +9,7 @@
 #include <string>
 
 #include "util/rng.hpp"
+#include "workload/faults.hpp"
 #include "workload/scenario.hpp"
 
 namespace {
@@ -259,6 +260,211 @@ TEST(ScenarioReplay, SloAfterTracksStreamsAndResetsOnReArrival) {
   EXPECT_DOUBLE_EQ(s.slo_after(3)[1], 0.0);
 }
 
+// --- Fault clauses -------------------------------------------------------
+
+TEST(ScenarioTrace, FaultClausesRoundTripBitExactly) {
+  // Awkward mantissa on the throttle factor: the %.17g contract must hold
+  // for fault clauses exactly as it does for timestamps and SLOs.
+  const Scenario s = workload::parse_scenario(
+      "at 0 arrive AlexNet\n"
+      "at 1 fail board 2\n"
+      "at 2.5 throttle board 0 0.34567890123456789\n"
+      "at 3 recover board 2\n"
+      "at 4 recover board 0\n"
+      "at 5 depart AlexNet\n");
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_TRUE(s.has_faults());
+  EXPECT_EQ(s.fault_board_span(), 3u);  // max board index 2 -> span 3
+  EXPECT_EQ(s.events()[1].kind, ScenarioEventKind::kFailBoard);
+  EXPECT_EQ(s.events()[1].board, 2u);
+  EXPECT_EQ(s.events()[1].factor, 0.0);
+  EXPECT_EQ(s.events()[2].kind, ScenarioEventKind::kThrottleBoard);
+  EXPECT_EQ(s.events()[2].board, 0u);
+  EXPECT_EQ(s.events()[2].factor, 0.34567890123456789);
+  EXPECT_EQ(s.events()[4].kind, ScenarioEventKind::kRecoverBoard);
+  const std::string trace = workload::serialize_scenario(s);
+  EXPECT_EQ(s, workload::parse_scenario(trace));
+  EXPECT_EQ(trace,
+            workload::serialize_scenario(workload::parse_scenario(trace)));
+  // Fault events are invisible to the served mix and its concurrency.
+  EXPECT_EQ(s.peak_concurrency(), 1u);
+  EXPECT_EQ(s.mix_after(3).describe(), "AlexNet");
+  // A fault-free trace reports no faults and zero span.
+  const Scenario plain = workload::parse_scenario("at 0 arrive AlexNet\n");
+  EXPECT_FALSE(plain.has_faults());
+  EXPECT_EQ(plain.fault_board_span(), 0u);
+}
+
+TEST(ScenarioTrace, RejectsMalformedFaultLines) {
+  const char* corpus[] = {
+      "at 0 fail board\n",             // missing index
+      "at 0 fail 1\n",                 // missing the literal `board`
+      "at 0 fail board -1\n",          // negative index
+      "at 0 fail board x\n",           // non-numeric index
+      "at 0 fail board 1 extra\n",     // trailing garbage
+      "at 0 fail board 1 slo 5\n",     // faults carry no SLO
+      "at 0 throttle board 1\n",       // throttle without a factor
+      "at 0 throttle board 1 0\n",     // factor must be > 0
+      "at 0 throttle board 1 -0.5\n",  // negative factor
+      "at 0 throttle board 1 1.5\n",   // factor above 1
+      "at 0 throttle board 1 inf\n",   // non-finite factor
+      "at 0 throttle board 1 nan\n",   // non-finite factor
+      "at 0 throttle board 1 fast\n",  // non-numeric factor
+      "at 0 recover board 1 0.5\n",    // recover carries no factor
+      "at 0 recover board 1\n",        // recover while healthy
+      "at 0 fail board 1\nat 1 fail board 1\n",      // double fail
+      "at 0 fail board 1\nat 1 throttle board 1 0.5\n",  // throttle a corpse
+  };
+  for (const char* text : corpus)
+    EXPECT_THROW(workload::parse_scenario(std::string(text)),
+                 std::invalid_argument)
+        << text;
+}
+
+TEST(ScenarioValidation, RejectsIllegalFaultEventFields) {
+  const auto fault = [](double t, ScenarioEventKind kind, std::size_t board) {
+    ScenarioEvent e{t, kind, ModelId::kAlexNet};
+    e.board = board;
+    return e;
+  };
+  // A hand-built throttle with an out-of-range factor.
+  ScenarioEvent hot = fault(0.0, ScenarioEventKind::kThrottleBoard, 0);
+  hot.factor = 2.0;
+  EXPECT_THROW(Scenario({hot}), std::invalid_argument);
+  // A fail event smuggling a throttle factor.
+  ScenarioEvent dead = fault(0.0, ScenarioEventKind::kFailBoard, 0);
+  dead.factor = 0.5;
+  EXPECT_THROW(Scenario({dead}), std::invalid_argument);
+  // A fault event smuggling an SLO.
+  ScenarioEvent slo = fault(0.0, ScenarioEventKind::kFailBoard, 0);
+  slo.slo_ms = 50.0;
+  EXPECT_THROW(Scenario({slo}), std::invalid_argument);
+  // A mix event smuggling fault fields.
+  ScenarioEvent arrive{0.0, ScenarioEventKind::kArrive, ModelId::kAlexNet};
+  arrive.board = 1;
+  EXPECT_THROW(Scenario({arrive}), std::invalid_argument);
+  arrive.board = 0;
+  arrive.factor = 0.5;
+  EXPECT_THROW(Scenario({arrive}), std::invalid_argument);
+  // Legal: fail then recover then fail again on the same board.
+  EXPECT_NO_THROW(Scenario({fault(0, ScenarioEventKind::kFailBoard, 0),
+                            fault(1, ScenarioEventKind::kRecoverBoard, 0),
+                            fault(2, ScenarioEventKind::kFailBoard, 0)}));
+}
+
+// --- Fault process generator ---------------------------------------------
+
+TEST(FaultProcess, SampleIsDeterministicAndPerBoardSubstreamIndependent) {
+  workload::FaultProcess p;
+  p.mtbf_s = 10.0;
+  p.mttr_s = 4.0;
+  p.throttle_fraction = 0.5;
+  const auto a = workload::sample_fault_events(p, 3, 200.0, 77);
+  const auto b = workload::sample_fault_events(p, 3, 200.0, 77);
+  EXPECT_EQ(a, b);
+  ASSERT_FALSE(a.empty());
+  // Substream independence: board 1's history in a 2-board draw is
+  // bit-identical to its history in a 3-board draw of the same seed.
+  const auto two = workload::sample_fault_events(p, 2, 200.0, 77);
+  const auto board1 = [](const std::vector<ScenarioEvent>& events) {
+    std::vector<ScenarioEvent> out;
+    for (const ScenarioEvent& e : events)
+      if (e.board == 1) out.push_back(e);
+    return out;
+  };
+  EXPECT_EQ(board1(a), board1(two));
+  // Every drawn event is a fault event with a legal board and time.
+  double prev_t = 0.0;
+  for (const ScenarioEvent& e : a) {
+    EXPECT_TRUE(workload::is_fault_event(e.kind));
+    EXPECT_LT(e.board, 3u);
+    EXPECT_GE(e.time_s, prev_t);
+    EXPECT_LE(e.time_s, 200.0);
+    prev_t = e.time_s;
+  }
+}
+
+TEST(FaultProcess, WithFaultsWeavesAValidScenarioAndNoFaultsIsIdentity) {
+  workload::ScenarioConfig cfg;
+  cfg.events = 20;
+  cfg.max_concurrent = 4;
+  cfg.depart_bias = 0.5;
+  util::Rng rng(5);
+  const Scenario base = workload::random_scenario(rng, cfg);
+
+  workload::FaultProcess p;
+  p.mtbf_s = 3.0;
+  p.mttr_s = 2.0;
+  const Scenario faulted = workload::with_faults(base, p, 3, 13);
+  EXPECT_TRUE(faulted.has_faults());
+  EXPECT_GT(faulted.size(), base.size());
+  // The arrive/depart stream is untouched by the weave.
+  std::vector<ScenarioEvent> mix_events;
+  for (const ScenarioEvent& e : faulted.events())
+    if (!workload::is_fault_event(e.kind)) mix_events.push_back(e);
+  ASSERT_EQ(mix_events.size(), base.size());
+  for (std::size_t i = 0; i < mix_events.size(); ++i)
+    EXPECT_EQ(mix_events[i], base.events()[i]) << "event " << i;
+  // The woven trace round-trips bit-exactly like any other.
+  const std::string trace = workload::serialize_scenario(faulted);
+  EXPECT_EQ(faulted, workload::parse_scenario(trace));
+  // An (astronomically) fault-free process returns the base unchanged.
+  workload::FaultProcess calm;
+  calm.mtbf_s = 1e12;
+  const Scenario same = workload::with_faults(base, calm, 3, 13);
+  EXPECT_EQ(same, base);
+  EXPECT_FALSE(same.has_faults());
+}
+
+TEST(FaultProcess, ValidatesParametersAndSpecGrammar) {
+  const auto bad = [](auto mutate) {
+    workload::FaultProcess p;
+    mutate(p);
+    EXPECT_THROW(workload::sample_fault_events(p, 1, 10.0, 0),
+                 std::invalid_argument);
+  };
+  bad([](workload::FaultProcess& p) { p.mtbf_s = 0.0; });
+  bad([](workload::FaultProcess& p) { p.mtbf_s = -1.0; });
+  bad([](workload::FaultProcess& p) {
+    p.mttr_s = std::numeric_limits<double>::infinity();
+  });
+  bad([](workload::FaultProcess& p) { p.throttle_fraction = 1.5; });
+  // The band is validated only when throttles can actually be drawn
+  // (throttle_fraction > 0); fail-only processes ignore it by contract.
+  const auto bad_band = [&bad](auto mutate) {
+    bad([mutate](workload::FaultProcess& p) {
+      p.throttle_fraction = 0.5;
+      mutate(p);
+    });
+  };
+  bad_band([](workload::FaultProcess& p) { p.throttle_min = 0.0; });
+  bad_band([](workload::FaultProcess& p) {
+    p.throttle_min = 0.9;
+    p.throttle_max = 0.5;
+  });
+  bad_band([](workload::FaultProcess& p) { p.throttle_max = 1.5; });
+  // ...and a fail-only process with a nonsense band samples fine.
+  workload::FaultProcess lax;
+  lax.throttle_min = 0.0;
+  EXPECT_NO_THROW(workload::sample_fault_events(lax, 1, 10.0, 0));
+
+  const workload::FaultProcess p =
+      workload::parse_fault_spec("mtbf:30:mttr:5:throttle:0.4:0.2:0.6");
+  EXPECT_EQ(p.mtbf_s, 30.0);
+  EXPECT_EQ(p.mttr_s, 5.0);
+  EXPECT_EQ(p.throttle_fraction, 0.4);
+  EXPECT_EQ(p.throttle_min, 0.2);
+  EXPECT_EQ(p.throttle_max, 0.6);
+  EXPECT_EQ(workload::parse_fault_spec("mtbf:30:mttr:5").throttle_fraction,
+            0.0);
+  for (const char* spec :
+       {"", "mtbf:30", "mttr:5:mtbf:30", "mtbf:x:mttr:5", "mtbf:30:mttr:5:x",
+        "mtbf:30:mttr:5:throttle", "mtbf:30:mttr:5:throttle:0.4:0.2",
+        "mtbf:-1:mttr:5", "mtbf:30:mttr:5:throttle:2"})
+    EXPECT_THROW(workload::parse_fault_spec(spec), std::invalid_argument)
+        << spec;
+}
+
 // --- Fuzz/property layer -------------------------------------------------
 // Random traces must round-trip the text format bit-exactly, and arbitrary
 // corruption of a valid trace must either still parse (benign mutation) or
@@ -286,7 +492,16 @@ workload::ScenarioConfig fuzz_config(util::Rng& rng) {
 TEST(ScenarioFuzz, RandomTracesRoundTripBitExactly) {
   for (std::uint64_t i = 0; i < 50; ++i) {
     util::Rng rng(util::fork_stream(9001, i));
-    const Scenario original = workload::random_scenario(rng, fuzz_config(rng));
+    Scenario original = workload::random_scenario(rng, fuzz_config(rng));
+    // Half the draws get a fault process woven in, so the fault grammar is
+    // fuzzed round-trip alongside the arrive/depart/slo grammar.
+    if (!original.empty() && rng.chance(0.5)) {
+      workload::FaultProcess p;
+      p.mtbf_s = rng.uniform(0.5, 10.0);
+      p.mttr_s = rng.uniform(0.5, 5.0);
+      p.throttle_fraction = rng.uniform(0.0, 1.0);
+      original = workload::with_faults(original, p, 1 + rng.below(4), i);
+    }
     const std::string text = workload::serialize_scenario(original);
     const Scenario parsed = workload::parse_scenario(text);
 
@@ -298,6 +513,8 @@ TEST(ScenarioFuzz, RandomTracesRoundTripBitExactly) {
       EXPECT_EQ(a.kind, b.kind) << "iteration " << i << " event " << k;
       EXPECT_EQ(a.model, b.model) << "iteration " << i << " event " << k;
       EXPECT_EQ(a.slo_ms, b.slo_ms) << "iteration " << i << " event " << k;
+      EXPECT_EQ(a.board, b.board) << "iteration " << i << " event " << k;
+      EXPECT_EQ(a.factor, b.factor) << "iteration " << i << " event " << k;
     }
     // And the text itself is a fixed point of serialize∘parse.
     EXPECT_EQ(workload::serialize_scenario(parsed), text) << "iteration " << i;
@@ -317,12 +534,18 @@ TEST(ScenarioFuzz, MutatedTracesThrowInvalidArgumentOrStillRoundTrip) {
       "at 3 arrive MobileNet\n"
       "at 5.5 depart AlexNet\n"
       "at 7 arrive SqueezeNet slo 80\n",
+      "at 0 arrive AlexNet\n"
+      "at 1 fail board 1\n"
+      "at 2 throttle board 0 0.5\n"
+      "at 3.5 recover board 1\n"
+      "at 4 recover board 0\n"
+      "at 6 depart AlexNet\n",
   };
-  const char charset[] = "at 0123456789.eE+-arivdepsloNVGRM#\nx";
+  const char charset[] = "at 0123456789.eE+-arivdepsloNVGRM#\nxfhbc";
   std::size_t rejected = 0, survived = 0;
   for (std::uint64_t i = 0; i < 200; ++i) {
     util::Rng rng(util::fork_stream(9002, i));
-    std::string text = corpus[rng.below(2)];
+    std::string text = corpus[rng.below(3)];
     // 1-4 independent byte-level mutations: overwrite, insert, or erase.
     const std::size_t mutations = 1 + rng.below(4);
     for (std::size_t m = 0; m < mutations && !text.empty(); ++m) {

@@ -38,6 +38,7 @@ EXPECTED = [
     "ablation_training",
     "cluster_scaling",
     "estimator_accuracy",
+    "fault_recovery",
     "fig1_motivation",
     "fig4_estimator_training",
     "fig4_parallel_design",

@@ -38,6 +38,7 @@
 #include "nn/loss.hpp"
 #include "sched/baseline.hpp"
 #include "sched/bnb.hpp"
+#include "sched/fallback.hpp"
 #include "sched/ga.hpp"
 #include "sched/greedy.hpp"
 #include "sched/local_search.hpp"
@@ -50,6 +51,7 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "workload/arrival.hpp"
+#include "workload/faults.hpp"
 #include "workload/scenario.hpp"
 #include "workload/workload.hpp"
 
@@ -466,7 +468,15 @@ int run_serve(int argc, char** argv) {
       .option("cross-gbps",
               "cluster: cross-board weight-transfer bandwidth (GB/s) priced "
               "into rescue migrations",
-              "1");
+              "1")
+      .option("faults",
+              "weave a seeded board-fault process into the scenario: "
+              "mtbf:<s>:mttr:<s>[:throttle:<fraction>[:<min>:<max>]] — "
+              "routes through the fleet cluster even at --boards 1")
+      .option("decision-deadline-ms",
+              "wrap every scheduler in a wall-clock decision deadline with "
+              "Greedy fallback (sched::FallbackScheduler); 0 serves every "
+              "epoch via Greedy");
   declare_common_options(args);
   args.flag("cold",
             "disable warm-started rescheduling: every event gets a cold "
@@ -476,6 +486,8 @@ int run_serve(int argc, char** argv) {
             "of shaping their reward down")
       .flag("no-migrate",
             "cluster: disable rescue migrations off saturating boards")
+      .flag("rebalance",
+            "cluster: pull streams back onto boards recovering from a fault")
       .flag("json", "emit a machine-readable JSON report");
   if (!args.parse(argc, argv)) return 0;
 
@@ -538,6 +550,30 @@ int run_serve(int argc, char** argv) {
     scenario = workload::Scenario(std::move(events));
   }
 
+  const long long boards_raw = args.get_int("boards");
+  if (boards_raw < 1) throw std::invalid_argument("--boards must be >= 1");
+  const auto n_boards = static_cast<std::size_t>(boards_raw);
+
+  // --- Fault weave: draw a board-fault process over the scenario's span and
+  // merge its fail/throttle/recover events in (workload/faults.hpp). The
+  // weave happens before --save-scenario so the saved trace replays the
+  // identical faults.
+  if (args.has("faults")) {
+    const workload::FaultProcess faults =
+        workload::parse_fault_spec(args.get("faults"));
+    scenario = workload::with_faults(scenario, faults, n_boards, seed);
+    if (!as_json)
+      std::printf("fault weave: %s -> %s\n",
+                  workload::describe(faults).c_str(),
+                  scenario.describe().c_str());
+  }
+  if (scenario.fault_board_span() > n_boards)
+    throw std::invalid_argument(
+        "scenario fault events target board " +
+        std::to_string(scenario.fault_board_span() - 1) +
+        " but the fleet has only " + std::to_string(n_boards) +
+        " board(s); raise --boards");
+
   if (args.has("save-scenario")) {
     workload::save_scenario_file(scenario, args.get("save-scenario"));
     if (!as_json)
@@ -570,16 +606,32 @@ int run_serve(int argc, char** argv) {
   sc.migration.enabled = migration_cost > 0.0;
   sc.migration.scale = migration_cost > 0.0 ? migration_cost : 1.0;
 
+  // --- Decision-deadline guard: wrap any scheduler the factories below
+  // build in a FallbackScheduler (wall-clock deadline, retry with backoff,
+  // Greedy fallback). Absent flag = no wrapper, bit-identical to before.
+  const bool deadline_guard = args.has("decision-deadline-ms");
+  const double deadline_ms =
+      deadline_guard ? args.get_double("decision-deadline-ms") : 0.0;
+  if (deadline_guard && deadline_ms < 0.0)
+    throw std::invalid_argument("--decision-deadline-ms must be >= 0");
+  const auto guard = [&](std::unique_ptr<core::IScheduler> inner,
+                         const device::DeviceSpec& dev)
+      -> std::unique_ptr<core::IScheduler> {
+    if (!deadline_guard) return inner;
+    sched::FallbackConfig fc;
+    fc.deadline_ms = deadline_ms;
+    return sched::make_greedy_fallback(std::move(inner), zoo, dev, fc);
+  };
+
   // --- Fleet mode: route arrivals across a heterogeneous cluster. A fleet
-  // of one stays on the plain ServingRuntime path below, so every existing
-  // single-board invocation reproduces its output bit-for-bit.
-  const long long boards_raw = args.get_int("boards");
-  if (boards_raw < 1) throw std::invalid_argument("--boards must be >= 1");
-  if (boards_raw > 1) {
-    const auto n_boards = static_cast<std::size_t>(boards_raw);
+  // of one stays on the plain ServingRuntime path below (bit-identical to
+  // the pre-cluster CLI) — unless the scenario carries fault events, which
+  // only the cluster can react to.
+  if (boards_raw > 1 || scenario.has_faults()) {
     core::ClusterConfig cc;
     cc.serving = sc;
     cc.migrate = !args.get_flag("no-migrate");
+    cc.rebalance_on_recovery = args.get_flag("rebalance");
     cc.cross_board_gbps = args.get_double("cross-gbps");
     if (!(cc.cross_board_gbps > 0.0))
       throw std::invalid_argument("--cross-gbps must be > 0");
@@ -591,13 +643,15 @@ int run_serve(int argc, char** argv) {
     // analytic schedulers are rebuilt against each board's own spec.
     const core::SchedulerFactory factory =
         [&](std::size_t i) -> std::unique_ptr<core::IScheduler> {
-      return make_scheduler(
-          scheduler_kind, zoo, cluster.boards()[i].device, embedding,
-          estimator, static_cast<std::size_t>(args.get_int("budget")),
-          static_cast<std::size_t>(args.get_int("depth")),
-          static_cast<std::size_t>(args.get_int("batch")), seed,
-          args.get_double("rollout-fraction"), args.get_flag("slo-hard-prune"),
-          bnb_timeout_ms);
+      return guard(
+          make_scheduler(
+              scheduler_kind, zoo, cluster.boards()[i].device, embedding,
+              estimator, static_cast<std::size_t>(args.get_int("budget")),
+              static_cast<std::size_t>(args.get_int("depth")),
+              static_cast<std::size_t>(args.get_int("batch")), seed,
+              args.get_double("rollout-fraction"),
+              args.get_flag("slo-hard-prune"), bnb_timeout_ms),
+          cluster.boards()[i].device);
     };
     const core::ClusterReport rep = cluster.run(factory, scenario, *policy);
 
@@ -633,6 +687,19 @@ int run_serve(int argc, char** argv) {
               util::Json::number(rep.cross_board_stall_s));
       out.set("cross_board_weight_bytes",
               util::Json::number(rep.cross_board_weight_bytes));
+      out.set("board_failures", util::Json::number(rep.board_failures));
+      out.set("board_throttles", util::Json::number(rep.board_throttles));
+      out.set("board_recoveries", util::Json::number(rep.board_recoveries));
+      out.set("failovers", util::Json::number(rep.failovers));
+      out.set("failover_stall_s", util::Json::number(rep.failover_stall_s));
+      out.set("failover_weight_bytes",
+              util::Json::number(rep.failover_weight_bytes));
+      out.set("shed_streams", util::Json::number(rep.shed_streams));
+      out.set("shed_departures", util::Json::number(rep.shed_departures));
+      out.set("rebalances", util::Json::number(rep.rebalances));
+      out.set("downtime_board_s", util::Json::number(rep.downtime_board_s));
+      out.set("degraded_epochs", util::Json::number(rep.degraded_epochs));
+      out.set("resident_streams", util::Json::number(rep.resident_streams));
       out.set("fleet_throughput_inf_s",
               util::Json::number(rep.fleet_throughput));
       out.set("total_decision_seconds",
@@ -677,6 +744,18 @@ int run_serve(int argc, char** argv) {
                   "%.1f MB weights moved\n",
                   rep.migrations, 1e3 * rep.cross_board_stall_s,
                   rep.cross_board_weight_bytes / 1e6);
+    if (rep.board_failures + rep.board_throttles + rep.board_recoveries > 0) {
+      std::printf(
+          "faults: %zu failures, %zu throttles, %zu recoveries | "
+          "%zu failovers (%.1f ms stall), %zu shed, %zu rebalanced\n",
+          rep.board_failures, rep.board_throttles, rep.board_recoveries,
+          rep.failovers, 1e3 * rep.failover_stall_s, rep.shed_streams,
+          rep.rebalances);
+      std::printf(
+          "degradation: %.1f board-seconds down, %zu degraded epochs, "
+          "%zu streams resident at end\n",
+          rep.downtime_board_s, rep.degraded_epochs, rep.resident_streams);
+    }
     if (rep.total_slo_streams > 0)
       std::printf("SLO: %zu violations over %zu stream-epochs under an "
                   "SLO\n",
@@ -684,13 +763,14 @@ int run_serve(int argc, char** argv) {
     return 0;
   }
 
-  auto scheduler = make_scheduler(
-      scheduler_kind, zoo, device, embedding, estimator,
-      static_cast<std::size_t>(args.get_int("budget")),
-      static_cast<std::size_t>(args.get_int("depth")),
-      static_cast<std::size_t>(args.get_int("batch")), seed,
-      args.get_double("rollout-fraction"), args.get_flag("slo-hard-prune"),
-      bnb_timeout_ms);
+  auto scheduler = guard(
+      make_scheduler(scheduler_kind, zoo, device, embedding, estimator,
+                     static_cast<std::size_t>(args.get_int("budget")),
+                     static_cast<std::size_t>(args.get_int("depth")),
+                     static_cast<std::size_t>(args.get_int("batch")), seed,
+                     args.get_double("rollout-fraction"),
+                     args.get_flag("slo-hard-prune"), bnb_timeout_ms),
+      device);
 
   // --- Serve.
   const core::ServingRuntime runtime(zoo, board, sc);

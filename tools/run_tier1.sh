@@ -56,6 +56,13 @@ echo "== ctest =="
 echo "== property lane =="
 (cd "$build_dir" && ctest --output-on-failure --label-regex property -j "$jobs")
 
+# Chaos lane: randomized fault scenarios against a fleet (failover, shedding,
+# throttle refresh, recovery rebalance) asserting stream conservation and
+# byte-identical reruns. Standalone for the same crisp-signal reason, and so
+# the sanitizer matrix flavors visibly exercise the fault paths.
+echo "== chaos lane =="
+(cd "$build_dir" && ctest --output-on-failure --label-regex chaos -j "$jobs")
+
 if [ "$bench_smoke" -eq 1 ]; then
   echo "== bench smoke =="
   cmake --build "$build_dir" -j "$jobs" --target bench_all
