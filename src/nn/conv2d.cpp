@@ -2,6 +2,7 @@
 #include <cmath>
 #include <vector>
 
+#include "nn/gemm_dispatch.hpp"
 #include "nn/layers.hpp"
 #include "tensor/gemm.hpp"
 #include "util/require.hpp"
@@ -72,8 +73,9 @@ Tensor Conv2d::forward(const Tensor& x) {
   const std::size_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
   Tensor y({x.extent(0), out_ch_, oh, ow});
 
-  return kernel_kind_ == KernelKind::kGemm ? forward_gemm(x, std::move(y))
-                                           : forward_reference(x, std::move(y));
+  return kernel_kind_ == KernelKind::kReference
+             ? forward_reference(x, std::move(y))
+             : forward_gemm(x, std::move(y));
 }
 
 // The bit-frozen paper path: weight-stationary nested loops, unchanged from
@@ -180,9 +182,9 @@ Tensor Conv2d::forward_gemm(const Tensor& x, Tensor y) const {
                 cols.data() + row * width + b * pixels);
   }
 
-  tensor::gemm(false, false, out_ch_, width, patch, 1.0f,
-               weight_.value.data(), patch, cols.data(), width, 0.0f,
-               product.data(), width);
+  detail::dispatch_gemm(kernel_kind_, false, false, out_ch_, width, patch,
+                        1.0f, weight_.value.data(), patch, cols.data(), width,
+                        0.0f, product.data(), width);
 
   // Scatter (out_ch x n*P) -> (n, out_ch, P), bias folded in.
   for (std::size_t b = 0; b < n; ++b) {
@@ -206,8 +208,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::size_t n = input_.extent(0);
   OB_REQUIRE(grad_out.extent(0) == n && grad_out.extent(1) == out_ch_,
              "Conv2d::backward: grad shape mismatch");
-  return kernel_kind_ == KernelKind::kGemm ? backward_gemm(grad_out)
-                                           : backward_reference(grad_out);
+  return kernel_kind_ == KernelKind::kReference ? backward_reference(grad_out)
+                                                : backward_gemm(grad_out);
 }
 
 // The bit-frozen paper path (unchanged from the seed tree).
@@ -322,14 +324,17 @@ Tensor Conv2d::backward_gemm(const Tensor& grad_out) {
                      cols.data());
       colp = cols.data();
     }
-    tensor::gemm(false, true, out_ch_, patch, pixels, 1.0f, gplane, pixels,
-                 colp, pixels, 1.0f, gwd, patch);
+    detail::dispatch_gemm(kernel_kind_, false, true, out_ch_, patch, pixels,
+                          1.0f, gplane, pixels, colp, pixels, 1.0f, gwd,
+                          patch);
     if (identity_cols) {
-      tensor::gemm(true, false, patch, pixels, out_ch_, 1.0f, wd, patch,
-                   gplane, pixels, 0.0f, gxplane, pixels);
+      detail::dispatch_gemm(kernel_kind_, true, false, patch, pixels, out_ch_,
+                            1.0f, wd, patch, gplane, pixels, 0.0f, gxplane,
+                            pixels);
     } else {
-      tensor::gemm(true, false, patch, pixels, out_ch_, 1.0f, wd, patch,
-                   gplane, pixels, 0.0f, gcols.data(), pixels);
+      detail::dispatch_gemm(kernel_kind_, true, false, patch, pixels, out_ch_,
+                            1.0f, wd, patch, gplane, pixels, 0.0f,
+                            gcols.data(), pixels);
       tensor::col2im(gcols.data(), in_ch_, h, w, kernel_, stride_, padding_,
                      gxplane);
     }

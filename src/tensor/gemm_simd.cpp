@@ -1,0 +1,270 @@
+/// \file gemm_simd.cpp
+/// The SIMD micro-kernel translation unit. This is the ONLY file in the
+/// library compiled with ISA flags (-mavx2 -mfma, applied per-source by
+/// CMake on x86-64 when the compiler accepts them; NEON is baseline on
+/// aarch64), so nothing outside gemm_simd_kernel() may call into it without
+/// the runtime cpuid gate in simd.cpp — the compiler is free to use the ISA
+/// anywhere in this TU.
+///
+/// Structure mirrors gemm.cpp's BLIS-style blocked driver exactly: pack
+/// op(A) into kMR-row k-major panels and op(B) into kNR-column panels, then
+/// sweep register micro-tiles over the packed blocks. Only the tile shape
+/// and the inner product change: 6x16 AVX2 FMA (12 accumulator ymm
+/// registers + 2 B loads + 1 A broadcast = 15 of 16) or 4x8 NEON FMA
+/// (8 accumulator q registers).
+
+#include "tensor/simd.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX2__) && \
+    defined(__FMA__)
+#include <immintrin.h>
+#define OMNIBOOST_SIMD_KERNELS 1
+#define OMNIBOOST_SIMD_ISA "avx2"
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define OMNIBOOST_SIMD_KERNELS 1
+#define OMNIBOOST_SIMD_ISA "neon"
+#endif
+
+namespace omniboost::tensor::detail {
+
+#ifdef OMNIBOOST_SIMD_KERNELS
+
+namespace {
+
+#ifdef __AVX2__
+constexpr std::size_t kMR = 6;    // micro-tile rows (one A broadcast each)
+constexpr std::size_t kNR = 16;   // micro-tile cols (two ymm lanes)
+constexpr std::size_t kMC = 96;   // rows of op(A) per block (multiple of kMR)
+#else
+constexpr std::size_t kMR = 4;    // micro-tile rows
+constexpr std::size_t kNR = 8;    // micro-tile cols (two q lanes)
+constexpr std::size_t kMC = 96;
+#endif
+constexpr std::size_t kKC = 256;  // shared dimension per block
+constexpr std::size_t kNC = 256;  // cols of op(B) per block (multiple of kNR)
+
+/// Element (r, c) of op(X) where the stored matrix has row stride ld.
+inline float op_at(const float* x, std::size_t ld, bool trans, std::size_t r,
+                   std::size_t c) {
+  return trans ? x[c * ld + r] : x[r * ld + c];
+}
+
+/// Packs op(A)[i0:i0+mc, k0:k0+kc] into kMR-row panels, k-major
+/// (buf[k*kMR + i]), zero-padding rows past mc — identical scheme to
+/// gemm.cpp's pack_a, at this TU's tile width.
+void pack_a(const float* a, std::size_t lda, bool trans, std::size_t i0,
+            std::size_t k0, std::size_t mc, std::size_t kc, float* buf) {
+  for (std::size_t p = 0; p < mc; p += kMR) {
+    const std::size_t rows = std::min(kMR, mc - p);
+    for (std::size_t k = 0; k < kc; ++k) {
+      for (std::size_t i = 0; i < kMR; ++i) {
+        *buf++ = i < rows ? op_at(a, lda, trans, i0 + p + i, k0 + k) : 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs op(B)[k0:k0+kc, j0:j0+nc] into kNR-column panels (buf[k*kNR + j]),
+/// zero-padding columns past nc.
+void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t k0,
+            std::size_t j0, std::size_t kc, std::size_t nc, float* buf) {
+  for (std::size_t p = 0; p < nc; p += kNR) {
+    const std::size_t cols = std::min(kNR, nc - p);
+    for (std::size_t k = 0; k < kc; ++k) {
+      for (std::size_t j = 0; j < kNR; ++j) {
+        *buf++ = j < cols ? op_at(b, ldb, trans, k0 + k, j0 + p + j) : 0.0f;
+      }
+    }
+  }
+}
+
+/// Scalar alpha/beta fold of a spilled partial tile (edge rows/columns).
+inline void fold_tile(const float (*tile)[kNR], float alpha, float beta,
+                      bool first_kblock, float* c, std::size_t ldc,
+                      std::size_t rows, std::size_t cols) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* crow = c + i * ldc;
+    if (first_kblock) {
+      if (beta == 0.0f) {
+        for (std::size_t j = 0; j < cols; ++j) crow[j] = alpha * tile[i][j];
+      } else {
+        for (std::size_t j = 0; j < cols; ++j)
+          crow[j] = beta * crow[j] + alpha * tile[i][j];
+      }
+    } else {
+      for (std::size_t j = 0; j < cols; ++j) crow[j] += alpha * tile[i][j];
+    }
+  }
+}
+
+#ifdef __AVX2__
+
+/// 6x16 FMA micro-tile: acc = sum_k apanel[k] (broadcast) * bpanel[k] (two
+/// ymm loads), folded into C with alpha (and beta on the first k-block).
+void micro_kernel(const float* apanel, const float* bpanel, std::size_t kc,
+                  float alpha, float beta, bool first_kblock, float* c,
+                  std::size_t ldc, std::size_t rows, std::size_t cols) {
+  __m256 acc[kMR][2];
+  for (std::size_t i = 0; i < kMR; ++i)
+    acc[i][0] = acc[i][1] = _mm256_setzero_ps();
+  for (std::size_t k = 0; k < kc; ++k) {
+    const float* bk = bpanel + k * kNR;
+    const __m256 b0 = _mm256_loadu_ps(bk);
+    const __m256 b1 = _mm256_loadu_ps(bk + 8);
+    const float* ak = apanel + k * kMR;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const __m256 av = _mm256_broadcast_ss(ak + i);
+      acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+  if (rows == kMR && cols == kNR) {
+    // Full-tile fast path: fold in registers.
+    const __m256 valpha = _mm256_set1_ps(alpha);
+    for (std::size_t i = 0; i < kMR; ++i) {
+      float* crow = c + i * ldc;
+      __m256 lo = _mm256_mul_ps(valpha, acc[i][0]);
+      __m256 hi = _mm256_mul_ps(valpha, acc[i][1]);
+      if (first_kblock) {
+        if (beta != 0.0f) {
+          const __m256 vbeta = _mm256_set1_ps(beta);
+          lo = _mm256_fmadd_ps(vbeta, _mm256_loadu_ps(crow), lo);
+          hi = _mm256_fmadd_ps(vbeta, _mm256_loadu_ps(crow + 8), hi);
+        }
+      } else {
+        lo = _mm256_add_ps(_mm256_loadu_ps(crow), lo);
+        hi = _mm256_add_ps(_mm256_loadu_ps(crow + 8), hi);
+      }
+      _mm256_storeu_ps(crow, lo);
+      _mm256_storeu_ps(crow + 8, hi);
+    }
+    return;
+  }
+  // Edge tile: spill and fold scalar over the live rows/columns.
+  alignas(32) float tile[kMR][kNR];
+  for (std::size_t i = 0; i < kMR; ++i) {
+    _mm256_store_ps(tile[i], acc[i][0]);
+    _mm256_store_ps(tile[i] + 8, acc[i][1]);
+  }
+  fold_tile(tile, alpha, beta, first_kblock, c, ldc, rows, cols);
+}
+
+#else  // NEON
+
+/// 4x8 FMA micro-tile (two q-register lanes per row).
+void micro_kernel(const float* apanel, const float* bpanel, std::size_t kc,
+                  float alpha, float beta, bool first_kblock, float* c,
+                  std::size_t ldc, std::size_t rows, std::size_t cols) {
+  float32x4_t acc[kMR][2];
+  for (std::size_t i = 0; i < kMR; ++i)
+    acc[i][0] = acc[i][1] = vdupq_n_f32(0.0f);
+  for (std::size_t k = 0; k < kc; ++k) {
+    const float* bk = bpanel + k * kNR;
+    const float32x4_t b0 = vld1q_f32(bk);
+    const float32x4_t b1 = vld1q_f32(bk + 4);
+    const float* ak = apanel + k * kMR;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const float32x4_t av = vdupq_n_f32(ak[i]);
+      acc[i][0] = vfmaq_f32(acc[i][0], av, b0);
+      acc[i][1] = vfmaq_f32(acc[i][1], av, b1);
+    }
+  }
+  if (rows == kMR && cols == kNR) {
+    const float32x4_t valpha = vdupq_n_f32(alpha);
+    for (std::size_t i = 0; i < kMR; ++i) {
+      float* crow = c + i * ldc;
+      float32x4_t lo = vmulq_f32(valpha, acc[i][0]);
+      float32x4_t hi = vmulq_f32(valpha, acc[i][1]);
+      if (first_kblock) {
+        if (beta != 0.0f) {
+          const float32x4_t vbeta = vdupq_n_f32(beta);
+          lo = vfmaq_f32(lo, vbeta, vld1q_f32(crow));
+          hi = vfmaq_f32(hi, vbeta, vld1q_f32(crow + 4));
+        }
+      } else {
+        lo = vaddq_f32(vld1q_f32(crow), lo);
+        hi = vaddq_f32(vld1q_f32(crow + 4), hi);
+      }
+      vst1q_f32(crow, lo);
+      vst1q_f32(crow + 4, hi);
+    }
+    return;
+  }
+  alignas(16) float tile[kMR][kNR];
+  for (std::size_t i = 0; i < kMR; ++i) {
+    vst1q_f32(tile[i], acc[i][0]);
+    vst1q_f32(tile[i] + 4, acc[i][1]);
+  }
+  fold_tile(tile, alpha, beta, first_kblock, c, ldc, rows, cols);
+}
+
+#endif  // ISA
+
+}  // namespace
+
+bool simd_kernels_compiled() { return true; }
+
+const char* simd_kernel_isa() { return OMNIBOOST_SIMD_ISA; }
+
+void gemm_simd_kernel(bool trans_a, bool trans_b, std::size_t m,
+                      std::size_t n, std::size_t k, float alpha,
+                      const float* a, std::size_t lda, const float* b,
+                      std::size_t ldb, float beta, float* c,
+                      std::size_t ldc) {
+  // Packing scratch, rounded up to whole micro-panels (same reuse scheme as
+  // gemm.cpp: thread_local, sized by the fixed block caps).
+  static thread_local std::vector<float> apack;
+  static thread_local std::vector<float> bpack;
+  apack.resize(((std::min(m, kMC) + kMR - 1) / kMR) * kMR *
+               std::min(k, kKC));
+  bpack.resize(((std::min(n, kNC) + kNR - 1) / kNR) * kNR *
+               std::min(k, kKC));
+
+  for (std::size_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::size_t nc = std::min(kNC, n - j0);
+    const std::size_t npanels = (nc + kNR - 1) / kNR;
+    for (std::size_t k0 = 0; k0 < k; k0 += kKC) {
+      const std::size_t kc = std::min(kKC, k - k0);
+      const bool first_kblock = k0 == 0;
+      pack_b(b, ldb, trans_b, k0, j0, kc, nc, bpack.data());
+      for (std::size_t i0 = 0; i0 < m; i0 += kMC) {
+        const std::size_t mc = std::min(kMC, m - i0);
+        const std::size_t mpanels = (mc + kMR - 1) / kMR;
+        pack_a(a, lda, trans_a, i0, k0, mc, kc, apack.data());
+        for (std::size_t pj = 0; pj < npanels; ++pj) {
+          const std::size_t j = pj * kNR;
+          const std::size_t cols = std::min(kNR, nc - j);
+          const float* bpanel = bpack.data() + pj * kc * kNR;
+          for (std::size_t pi = 0; pi < mpanels; ++pi) {
+            const std::size_t i = pi * kMR;
+            const std::size_t rows = std::min(kMR, mc - i);
+            micro_kernel(apack.data() + pi * kc * kMR, bpanel, kc, alpha,
+                         beta, first_kblock, c + (i0 + i) * ldc + j0 + j, ldc,
+                         rows, cols);
+          }
+        }
+      }
+    }
+  }
+}
+
+#else  // !OMNIBOOST_SIMD_KERNELS — no ISA section on this target/compiler
+
+bool simd_kernels_compiled() { return false; }
+
+const char* simd_kernel_isa() { return "none"; }
+
+void gemm_simd_kernel(bool, bool, std::size_t, std::size_t, std::size_t,
+                      float, const float*, std::size_t, const float*,
+                      std::size_t, float, float*, std::size_t) {
+  // Unreachable: gemm_simd() routes to tensor::gemm when
+  // simd_kernels_compiled() is false.
+}
+
+#endif  // OMNIBOOST_SIMD_KERNELS
+
+}  // namespace omniboost::tensor::detail

@@ -1,0 +1,79 @@
+/// \file simd.cpp
+/// Runtime dispatch for the SIMD GEMM path. Deliberately compiled WITHOUT
+/// ISA flags (unlike gemm_simd.cpp): every instruction here must run on the
+/// portable baseline, because this is the code that decides — via cpuid —
+/// whether the ISA-flagged kernels may be entered at all.
+
+#include "tensor/simd.hpp"
+
+#include <algorithm>
+
+#include "tensor/gemm.hpp"
+#include "util/require.hpp"
+
+namespace omniboost::tensor {
+
+namespace {
+
+bool host_supports_simd() {
+  if (!detail::simd_kernels_compiled()) return false;
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+  // The kernels were compiled for AVX2+FMA; only enter them when the
+  // running CPU actually reports both (one binary, any x86-64 host).
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;  // no portable cpuid on this compiler — stay scalar
+#endif
+#else
+  // aarch64: NEON is part of the baseline ISA, so compiled-in == runnable.
+  return true;
+#endif
+}
+
+}  // namespace
+
+bool simd_supported() {
+  static const bool supported = host_supports_simd();
+  return supported;
+}
+
+const char* simd_isa() {
+  return simd_supported() ? detail::simd_kernel_isa() : "none";
+}
+
+void gemm_simd(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+               std::size_t k, float alpha, const float* a, std::size_t lda,
+               const float* b, std::size_t ldb, float beta, float* c,
+               std::size_t ldc) {
+  if (!simd_supported()) {
+    // Silent degradation to the blocked scalar path — identical contract,
+    // so kSimd layers run correctly on any host. Callers that want to
+    // surface the downgrade check simd_supported() themselves
+    // (nn::kernel_resolution_note).
+    gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  OB_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
+             "gemm_simd: null operand");
+  OB_REQUIRE(lda >= (trans_a ? m : k), "gemm_simd: lda too small");
+  OB_REQUIRE(ldb >= (trans_b ? k : n), "gemm_simd: ldb too small");
+  OB_REQUIRE(ldc >= n, "gemm_simd: ldc too small");
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    // Pure beta-scaling of C (and beta == 0 must overwrite, not multiply).
+    for (std::size_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      if (beta == 0.0f) {
+        std::fill(crow, crow + n, 0.0f);
+      } else if (beta != 1.0f) {
+        for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+    }
+    return;
+  }
+  detail::gemm_simd_kernel(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
+                           beta, c, ldc);
+}
+
+}  // namespace omniboost::tensor

@@ -1,0 +1,185 @@
+// The DES replay-memo purity contract (core/omniboost.hpp): SLO-shaped warm
+// decisions must be bit-identical with the replay memo on and off — the memo
+// stores the exact TracedResult a fresh simulate_traced would produce, so a
+// hit can never change a decision, only skip a DES run. These tests pin:
+//  * memo on vs off: identical mapping / expected_reward across 3 seeds and
+//    consecutive warm decisions, with des_replays + replay_hits (distinct
+//    candidates scored) equal on both sides
+//  * hit accounting: off => replay_hits == 0; on => hits appear once the
+//    same mix is re-decided (the memo carries ACROSS decisions)
+//  * purity purges: set_config() and an SLO-vector change drop the memo
+//  * the SLO-free path never touches the replay machinery (both counters 0)
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/omniboost.hpp"
+#include "device/device.hpp"
+#include "models/zoo.hpp"
+#include "nn/loss.hpp"
+#include "sim/des.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace omniboost;
+
+class ReplayMemoTest : public ::testing::Test {
+ protected:
+  static const models::ModelZoo& zoo() {
+    static const models::ModelZoo z;
+    return z;
+  }
+  static const core::EmbeddingTensor& embedding() {
+    // CostModel keeps a pointer into the spec — static lifetime for ASan.
+    static const device::DeviceSpec spec = device::make_hikey970();
+    static const device::CostModel cost(spec);
+    static const core::EmbeddingTensor e(zoo(), cost);
+    return e;
+  }
+  static const sim::DesSimulator& board() {
+    static const device::DeviceSpec spec = device::make_hikey970();
+    static const sim::DesSimulator b(spec);
+    return b;
+  }
+  /// One small trained estimator shared by every test (training dominates
+  /// this suite's runtime; the replay memo never mutates the estimator).
+  static std::shared_ptr<core::ThroughputEstimator> estimator() {
+    static const std::shared_ptr<core::ThroughputEstimator> est = [] {
+      core::DatasetConfig dc;
+      dc.samples = 50;
+      const core::SampleSet data =
+          core::generate_dataset(zoo(), embedding(), board(), dc);
+      auto e = std::make_shared<core::ThroughputEstimator>(
+          embedding().models_dim(), embedding().layers_dim());
+      nn::L1Loss l1;
+      nn::TrainConfig tc;
+      tc.epochs = 3;
+      e->fit(data, 10, l1, tc);
+      return e;
+    }();
+    return est;
+  }
+  static workload::Workload mix() {
+    return workload::Workload{{models::ModelId::kVgg16,
+                               models::ModelId::kAlexNet,
+                               models::ModelId::kMobileNet}};
+  }
+  static core::ScheduleContext slo_context(double slo_s) {
+    core::ScheduleContext ctx;
+    ctx.previous_workload = mix();
+    ctx.carried_from = {0, 1, 2};  // every stream survives in place
+    ctx.slo_s = std::vector<double>(3, slo_s);
+    ctx.board = &board();
+    return ctx;
+  }
+  static core::OmniBoostConfig config(std::uint64_t seed, bool memo) {
+    core::OmniBoostConfig cfg;
+    cfg.mcts.budget = 120;
+    cfg.mcts.seed = seed;
+    cfg.replay_memo = memo;
+    return cfg;
+  }
+};
+
+TEST_F(ReplayMemoTest, OnOffBitIdenticalAcross3SeedsWithHitAccounting) {
+  for (const std::uint64_t seed : {3u, 5u, 7u}) {
+    core::OmniBoostScheduler on(zoo(), embedding(), estimator(),
+                                config(seed, true));
+    core::OmniBoostScheduler off(zoo(), embedding(), estimator(),
+                                 config(seed, false));
+    const workload::Workload w = mix();
+    const core::ScheduleContext ctx = slo_context(0.5);
+
+    // Cold decision (no SLO shaping) to seed the warm path.
+    core::ScheduleResult prev_on = on.schedule(w);
+    core::ScheduleResult prev_off = off.schedule(w);
+    ASSERT_EQ(prev_on.mapping, prev_off.mapping) << "seed " << seed;
+
+    std::size_t hits_total = 0;
+    for (int decision = 0; decision < 3; ++decision) {
+      const core::ScheduleResult a = on.reschedule(w, prev_on.mapping, ctx);
+      const core::ScheduleResult b = off.reschedule(w, prev_off.mapping, ctx);
+      SCOPED_TRACE(::testing::Message()
+                   << "seed " << seed << ", warm decision " << decision);
+      // Bit-identical decisions: a hit returns the exact stored doubles.
+      EXPECT_EQ(a.mapping, b.mapping);
+      EXPECT_EQ(a.expected_reward, b.expected_reward);
+      // Both sides scored the same distinct-candidate count.
+      EXPECT_GT(b.des_replays, 0u);
+      EXPECT_EQ(b.replay_hits, 0u) << "memo off must never report hits";
+      EXPECT_EQ(a.des_replays + a.replay_hits, b.des_replays);
+      hits_total += a.replay_hits;
+      prev_on = a;
+      prev_off = b;
+    }
+    // The memo carries across decisions: re-deciding the same mix must
+    // answer some candidates from the memo instead of the DES.
+    EXPECT_GT(hits_total, 0u) << "seed " << seed;
+    EXPECT_GT(on.replay_memo_footprint(), 0u);
+    EXPECT_EQ(off.replay_memo_footprint(), 0u);
+  }
+}
+
+TEST_F(ReplayMemoTest, SetConfigDropsTheMemo) {
+  core::OmniBoostScheduler sched(zoo(), embedding(), estimator(),
+                                 config(11, true));
+  const workload::Workload w = mix();
+  const core::ScheduleResult cold = sched.schedule(w);
+  const core::ScheduleContext ctx = slo_context(0.5);
+  sched.reschedule(w, cold.mapping, ctx);
+  ASSERT_GT(sched.replay_memo_footprint(), 0u);
+
+  sched.set_config(config(11, true));  // same config — still a purity purge
+  EXPECT_EQ(sched.replay_memo_footprint(), 0u);
+
+  // And the purged scheduler re-executes instead of hallucinating hits.
+  const core::ScheduleResult cold2 = sched.schedule(w);
+  const core::ScheduleResult warm = sched.reschedule(w, cold2.mapping, ctx);
+  EXPECT_GT(warm.des_replays, 0u);
+}
+
+TEST_F(ReplayMemoTest, SloVectorChangeDropsTheMemo) {
+  core::OmniBoostScheduler sched(zoo(), embedding(), estimator(),
+                                 config(13, true));
+  const workload::Workload w = mix();
+  core::ScheduleResult prev = sched.schedule(w);
+  // Two decisions under one SLO to populate the memo and observe hits.
+  prev = sched.reschedule(w, prev.mapping, slo_context(0.5));
+  const core::ScheduleResult second =
+      sched.reschedule(w, prev.mapping, slo_context(0.5));
+  ASSERT_GT(second.replay_hits, 0u)
+      << "test premise: repeated decisions must hit the memo";
+  // A different SLO vector changes what a violation means — the memo keys
+  // don't encode the SLO, so purity demands a purge: the next decision
+  // starts cold (no hits).
+  const core::ScheduleResult after =
+      sched.reschedule(w, second.mapping, slo_context(0.25));
+  EXPECT_EQ(after.replay_hits, 0u);
+  EXPECT_GT(after.des_replays, 0u);
+}
+
+TEST_F(ReplayMemoTest, SloFreePathNeverTouchesTheReplayMachinery) {
+  core::OmniBoostScheduler sched(zoo(), embedding(), estimator(),
+                                 config(17, true));
+  const workload::Workload w = mix();
+  const core::ScheduleResult cold = sched.schedule(w);
+  EXPECT_EQ(cold.des_replays, 0u);
+  EXPECT_EQ(cold.replay_hits, 0u);
+
+  core::ScheduleContext ctx;  // no slo_s, no board: the SLO-free warm path
+  ctx.previous_workload = w;
+  ctx.carried_from = {0, 1, 2};
+  const core::ScheduleResult warm = sched.reschedule(w, cold.mapping, ctx);
+  EXPECT_EQ(warm.des_replays, 0u);
+  EXPECT_EQ(warm.replay_hits, 0u);
+  EXPECT_EQ(sched.replay_memo_footprint(), 0u);
+}
+
+}  // namespace

@@ -169,8 +169,10 @@ void declare_common_options(util::ArgParser& args) {
       .option("samples", "estimator training workloads", "500")
       .option("epochs", "estimator training epochs", "100")
       .option("kernel",
-              "compute kernel for the estimator CNN: gemm (fast) or "
-              "reference (the paper's bit-frozen loops)",
+              "compute kernel for the estimator CNN: gemm (fast), simd "
+              "(runtime-dispatched AVX2/NEON micro-kernels; degrades to "
+              "gemm on hosts without the ISA) or reference (the paper's "
+              "bit-frozen loops)",
               "gemm")
       .option("design-workers",
               "design-time parallelism (dataset generation + validation); "
@@ -182,6 +184,17 @@ void declare_common_options(util::ArgParser& args) {
       .option("save-estimator", "write the trained estimator to this path")
       .option("device-file",
               "board profile (INI) instead of the built-in HiKey970");
+}
+
+/// Applies --kernel: parses the requested kernel, reports a downgrade
+/// (simd on a host without the ISA) on stderr — stderr so --json stdout
+/// stays parseable — and installs the effective kernel as the process-wide
+/// default before any network is built.
+void apply_kernel_option(const util::ArgParser& args) {
+  const nn::KernelKind requested = nn::parse_kernel_name(args.get("kernel"));
+  const std::string note = nn::kernel_resolution_note(requested);
+  if (!note.empty()) std::fprintf(stderr, "note: %s\n", note.c_str());
+  nn::set_default_kernel(nn::resolve_kernel(requested));
 }
 
 /// Board model selection shared by both modes.
@@ -259,7 +272,7 @@ int run(int argc, char** argv) {
   const std::string scheduler_kind = args.get("scheduler");
   // Applied before any network is built: layers capture the default at
   // construction, so this one call covers training, loading, and search.
-  nn::set_default_kernel(nn::parse_kernel_name(args.get("kernel")));
+  apply_kernel_option(args);
   const std::size_t design_workers = parse_design_workers(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const bool as_json = args.get_flag("json");
@@ -491,7 +504,7 @@ int run_serve(int argc, char** argv) {
       .flag("json", "emit a machine-readable JSON report");
   if (!args.parse(argc, argv)) return 0;
 
-  nn::set_default_kernel(nn::parse_kernel_name(args.get("kernel")));
+  apply_kernel_option(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const bool as_json = args.get_flag("json");
   const bool warm = !args.get_flag("cold");
@@ -708,6 +721,10 @@ int run_serve(int argc, char** argv) {
               util::Json::number(rep.total_slo_streams));
       out.set("total_slo_violations",
               util::Json::number(rep.total_slo_violations));
+      out.set("total_des_replays",
+              util::Json::number(rep.total_des_replays));
+      out.set("total_replay_hits",
+              util::Json::number(rep.total_replay_hits));
       std::printf("%s\n", out.dump(2).c_str());
       return 0;
     }
@@ -797,6 +814,8 @@ int run_serve(int argc, char** argv) {
             util::Json::number(ep.decision.decision_seconds));
       j.set("evaluations", util::Json::number(ep.decision.evaluations));
       j.set("cache_hits", util::Json::number(ep.decision.cache_hits));
+      j.set("des_replays", util::Json::number(ep.decision.des_replays));
+      j.set("replay_hits", util::Json::number(ep.decision.replay_hits));
       j.set("avg_throughput_inf_s",
             util::Json::number(ep.measured_throughput));
       j.set("churn", util::Json::number(ep.churn));
@@ -831,6 +850,10 @@ int run_serve(int argc, char** argv) {
     out.set("mean_churn", util::Json::number(report.mean_churn));
     out.set("total_evaluations", util::Json::number(report.total_evaluations));
     out.set("total_cache_hits", util::Json::number(report.total_cache_hits));
+    out.set("total_des_replays",
+            util::Json::number(report.total_des_replays));
+    out.set("total_replay_hits",
+            util::Json::number(report.total_replay_hits));
     out.set("total_slo_streams", util::Json::number(report.total_slo_streams));
     out.set("total_slo_violations",
             util::Json::number(report.total_slo_violations));
@@ -872,6 +895,10 @@ int run_serve(int argc, char** argv) {
               report.mean_incremental_decision_seconds,
               100.0 * report.mean_churn, report.total_evaluations,
               report.total_cache_hits);
+  if (report.total_des_replays + report.total_replay_hits > 0)
+    std::printf("SLO replays: %zu DES replays executed, %zu served from the "
+                "replay memo\n",
+                report.total_des_replays, report.total_replay_hits);
   if (report.total_slo_streams > 0)
     std::printf("SLO: %zu violations over %zu stream-epochs under an SLO\n",
                 report.total_slo_violations, report.total_slo_streams);

@@ -14,6 +14,13 @@
 #                  once) and ANY failure fails the script; the emitted
 #                  BENCH_*.json set is then validated by
 #                  tools/check_bench_json.py.
+#   --require-simd Implies nothing extra at build time, but after the bench
+#                  JSON guard asserts BENCH_runtime_overhead_kernels.json
+#                  carries a populated "simd (ms)" column (the kernels table
+#                  must include the runtime-dispatched SIMD path). Use on
+#                  hosts known to matter for the kernels comparison; without
+#                  the flag a bench that silently dropped the simd column
+#                  would still pass. Requires --bench-smoke.
 #
 # Environment:
 #   OMNIBOOST_BUILD_DIR    build directory (default <repo>/build)
@@ -24,12 +31,18 @@
 set -eu
 
 bench_smoke=0
+require_simd=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
+    --require-simd) require_simd=1 ;;
     *) echo "run_tier1.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+if [ "$require_simd" -eq 1 ] && [ "$bench_smoke" -eq 0 ]; then
+  echo "run_tier1.sh: --require-simd requires --bench-smoke" >&2
+  exit 2
+fi
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="${OMNIBOOST_BUILD_DIR:-$root/build}"
@@ -97,10 +110,30 @@ if [ "$bench_smoke" -eq 1 ]; then
   echo "== bench JSON guard =="
   if command -v python3 > /dev/null 2>&1; then
     python3 "$root/tools/check_bench_json.py" "$smoke_dir"
+    if [ "$require_simd" -eq 1 ]; then
+      # The kernels table must carry the SIMD column with real timings in
+      # every row (a host without the ISA still produces numbers — the path
+      # silently degrades to gemm — so an absent/empty column means the
+      # bench driver itself regressed, not the machine).
+      python3 - "$smoke_dir/BENCH_runtime_overhead_kernels.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+if "simd (ms)" not in doc["columns"]:
+    sys.exit("require-simd: no 'simd (ms)' column in the kernels table")
+bad = [r for r in doc["rows"] if not str(r.get("simd (ms)", "")).strip()]
+if bad:
+    sys.exit(f"require-simd: {len(bad)} kernels row(s) have an empty simd entry")
+print(f"require-simd: OK ({len(doc['rows'])} rows with simd timings)")
+PYEOF
+    fi
   else
     # CI always has python3; only a bare local box lands here.
     echo "run_tier1.sh: WARNING: python3 not found, skipping the" \
          "BENCH_*.json artifact guard" >&2
+    if [ "$require_simd" -eq 1 ]; then
+      echo "run_tier1.sh: --require-simd needs python3" >&2
+      exit 1
+    fi
   fi
   echo "== bench smoke PASS =="
 fi
