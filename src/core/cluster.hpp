@@ -45,6 +45,7 @@
 /// See docs/ARCHITECTURE.md "Cluster & placement" and "Fault tolerance".
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -179,6 +180,13 @@ struct ClusterReport {
   /// (pinned): admitted = departures + shed_streams + resident_streams.
   std::size_t resident_streams = 0;
 
+  /// Idle-time background re-search accounting (the serving daemon's
+  /// between-events refinement; see ClusterSession::note_background_search).
+  /// Always zero for batch Cluster::run replays — the batch loop never
+  /// idles, so trace replay parity is unaffected by installs.
+  std::size_t background_searches = 0;
+  std::size_t background_improvements = 0;
+
   /// Sums over the per-board reports (equality with the sum is pinned).
   std::size_t decisions = 0;
   double total_decision_seconds = 0.0;
@@ -241,11 +249,150 @@ class Cluster {
   }
 
  private:
+  friend class ClusterSession;
+
   const models::ModelZoo* zoo_;
   std::vector<BoardSpec> boards_;
   ClusterConfig config_;
   std::vector<std::unique_ptr<sim::DesSimulator>> sims_;
 };
+
+/// Cluster::run opened up event-by-event — the same extraction
+/// ServingSession is of ServingRuntime, one level up. Holds exactly the
+/// loop state the batch replay keeps between events (per-board schedulers
+/// and sessions, board health, stream locations, the accumulating fleet
+/// report), so `construct; apply() every event; finish()` IS Cluster::run,
+/// bit-identical by construction.
+///
+/// The extra surface beyond the batch loop exists for the live serving
+/// daemon (tools/daemon.cpp):
+///  - apply() returns an ApplyOutcome describing what the event did (the
+///    daemon's wire replies);
+///  - version() counts applied events, so a background search started
+///    before an event raced in can detect staleness and discard itself;
+///  - install_mapping() re-decides one board's resident mix onto a given
+///    mapping (a refresh epoch through the normal epoch engine — already-
+///    served epochs are never touched);
+///  - note_background_search() surfaces the searches/installs counters in
+///    every report.
+///
+/// Events must satisfy the Scenario invariants for the fleet (non-
+/// decreasing times, arrive-while-absent, depart-while-present, per-board
+/// fault legality); a Scenario guarantees this for batch replays, and the
+/// daemon validates each live command by re-validating its recorded trace
+/// plus the candidate before applying. The session holds references into
+/// the Cluster — it must not outlive it, and at most one session per
+/// Cluster may be live at a time (sessions share the cluster's board
+/// simulators). Destruction resets every board simulator to full speed, so
+/// a later run/session starts from health.
+class ClusterSession {
+ public:
+  static constexpr std::size_t kNoBoard = static_cast<std::size_t>(-1);
+
+  /// What one applied event did, for the daemon's wire replies.
+  enum class ApplyKind {
+    kAdmitted,             ///< arrival admitted (and possibly rescued)
+    kRejected,             ///< arrival rejected by admission
+    kDeparted,             ///< departure applied to its board
+    kSwallowedDeparture,   ///< departure of a rejected/shed stream
+    kFault,                ///< fail/throttle/recover applied
+  };
+  struct ApplyOutcome {
+    ApplyKind kind = ApplyKind::kFault;
+    /// Board the event landed on (final board for rescued arrivals;
+    /// kNoBoard for rejections/swallowed departures).
+    std::size_t board = kNoBoard;
+    bool migrated = false;  ///< the arrival was rescue-migrated
+    /// DES throughput of the epoch the event triggered (0 when none was
+    /// served: rejections, swallowed departures, fail/recover without a
+    /// refresh).
+    double measured_throughput = 0.0;
+  };
+
+  ClusterSession(const Cluster& cluster, const SchedulerFactory& make_scheduler,
+                 IPlacementPolicy& policy);
+  ~ClusterSession();
+  ClusterSession(const ClusterSession&) = delete;
+  ClusterSession& operator=(const ClusterSession&) = delete;
+
+  /// Applies one scenario event: the body of Cluster::run's event loop.
+  ApplyOutcome apply(const workload::ScenarioEvent& e);
+
+  /// Snapshot of everything applied so far — the batch report, including
+  /// the end-of-scenario tail accounting (downtime up to the last event's
+  /// timestamp, resident streams, per-board aggregation). The session stays
+  /// usable; the daemon's `status`/`report` commands call this repeatedly.
+  ClusterReport finish() const;
+
+  /// Monotonic count of applied events. A background search snapshots this
+  /// before launching and installs only if it is unchanged — any event
+  /// racing in invalidates the refinement's input mix.
+  std::uint64_t version() const { return version_; }
+
+  std::size_t size() const { return sessions_.size(); }
+  const ServingSession& session(std::size_t board) const;
+  bool board_up(std::size_t board) const;
+  /// The board's CURRENT device spec, throttle included — what a background
+  /// refinement must optimize against.
+  const device::DeviceSpec& board_device(std::size_t board) const;
+
+  /// Re-decides \p board's resident mix onto \p mapping via a refresh epoch
+  /// (counted like any decision; label becomes the epoch's event string).
+  /// Returns false without serving anything when the board is down or idle,
+  /// or the mapping's shape no longer matches the resident mix — the
+  /// install-only-if-nothing-raced rule's last line of defense. Never
+  /// touches already-served epochs.
+  bool install_mapping(std::size_t board, const sim::Mapping& mapping,
+                       double time_s, const std::string& label);
+
+  /// Counts one finished background search (and whether it installed) into
+  /// every subsequent report.
+  void note_background_search(bool installed);
+
+ private:
+  std::vector<BoardView> make_views() const;
+  bool admits(std::size_t board, const models::NetworkDesc& net,
+              double slo_s) const;
+  double cross_board_stall(const models::NetworkDesc& net) const;
+  const EpochReport& serve(std::size_t board,
+                           const workload::ScenarioEvent& ev,
+                           double stall_s = 0.0);
+  double working_set(const models::NetworkDesc& net) const;
+  void arrive_at(std::size_t target, models::ModelId m, double slo_s,
+                 double time_s, double stall_s);
+
+  const Cluster* cluster_;
+  IPlacementPolicy* policy_;
+  std::vector<std::unique_ptr<IScheduler>> schedulers_;
+  std::vector<ServingSession> sessions_;
+
+  // Board health: up_[i] false while board i is failed, throttle_[i] < 1
+  // while it serves degraded. Fault-free event streams never change either.
+  std::vector<bool> up_;
+  std::vector<double> throttle_;
+  std::vector<double> down_since_;
+
+  // Stream location: which board holds each model's stream (mixes are
+  // globally duplicate-free, so ModelId keys the stream), kNoBoard = absent.
+  std::vector<std::size_t> location_;
+  std::vector<bool> rejected_;
+  std::vector<bool> shed_;
+
+  ClusterReport report_;  ///< fleet-level accumulators; finish() finalizes
+  double last_time_s_ = 0.0;
+  std::uint64_t version_ = 0;
+};
+
+/// Renders the fleet text report the CLI's fleet mode prints and the
+/// daemon's `status`/`report` commands return: the per-board table, the
+/// fleet/throughput/migration/fault/SLO summary lines, and one
+/// machine-parseable line per report —
+///   `conservation: offered=.. admitted=.. rejected=.. departures=..
+///    shed=.. resident=..`
+/// — which the daemon smoke lane greps to compare live accounting against
+/// an offline trace replay. A `background: searches=.. improvements=..`
+/// line appears when either counter is nonzero.
+std::string format_cluster_report(const ClusterReport& report);
 
 /// A stock heterogeneous fleet for benches and quickstarts: cycles
 /// hikey970 (stock) / -pro (1.5x compute, 1.5x memory) / -lite (0.6x

@@ -182,6 +182,12 @@ class ServingSession {
   /// the first decision or right after an idle epoch) — placement policies
   /// read this as the board's live load signal.
   double last_measured_throughput() const { return last_throughput_; }
+  /// The mapping the most recent non-idle epoch installed (valid only while
+  /// has_previous()); false before the first decision and right after an
+  /// idle epoch or evict_all(). The serving daemon's background re-search
+  /// seeds its refinement from exactly this mapping.
+  const sim::Mapping& previous_mapping() const { return prev_mapping_; }
+  bool has_previous() const { return have_prev_; }
   const sim::DesSimulator& board() const { return *board_; }
   const ServingConfig& config() const { return config_; }
   const sim::MigrationCostModel& migration_model() const { return migration_; }

@@ -35,11 +35,23 @@ BranchAndBoundScheduler::BranchAndBoundScheduler(
 
 core::ScheduleResult BranchAndBoundScheduler::schedule(
     const workload::Workload& w) {
+  return schedule_seeded(w, nullptr);
+}
+
+core::ScheduleResult BranchAndBoundScheduler::schedule_seeded(
+    const workload::Workload& w, const sim::Mapping* seed) {
   OB_REQUIRE(w.size() > 0, "BranchAndBoundScheduler: empty workload");
   const auto start = std::chrono::steady_clock::now();
 
   const sim::NetworkList nets = w.resolve(*zoo_);
   const std::vector<std::size_t> counts = w.layer_counts(*zoo_);
+  if (seed != nullptr) {
+    OB_REQUIRE(seed->num_dnns() == counts.size(),
+               "BranchAndBoundScheduler: seed mapping DNN count mismatch");
+    for (std::size_t d = 0; d < counts.size(); ++d)
+      OB_REQUIRE(seed->assignment(d).size() == counts[d],
+                 "BranchAndBoundScheduler: seed mapping layer count mismatch");
+  }
 
   std::vector<Coord> coords;
   for (std::size_t d = 0; d < counts.size(); ++d)
@@ -74,6 +86,15 @@ core::ScheduleResult BranchAndBoundScheduler::schedule(
     }
   };
   if (config_.seed_incumbent) greedy_seed();
+  if (seed != nullptr) {
+    // The caller's incumbent joins the race: the anytime result can then
+    // never be worse than what is already installed.
+    const double v = evaluate(*seed);
+    if (v > incumbent_value) {
+      incumbent_value = v;
+      incumbent = *seed;
+    }
+  }
 
   std::vector<sim::PartialAssignment> partial;
   partial.reserve(nets.size());
@@ -187,6 +208,26 @@ core::ScheduleResult BranchAndBoundScheduler::schedule(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return result;
+}
+
+RefineResult anytime_refine(const models::ModelZoo& zoo,
+                            const device::DeviceSpec& device,
+                            const workload::Workload& w,
+                            const sim::Mapping& seed,
+                            const BnbConfig& config) {
+  BranchAndBoundScheduler bnb("bnb-refine", zoo, device, config);
+  const core::ScheduleResult searched = bnb.schedule_seeded(w, &seed);
+
+  sim::AnalyticModel model(device);
+  const sim::NetworkList nets = w.resolve(zoo);
+  RefineResult out;
+  out.seed_objective = model.evaluate(nets, seed).avg_throughput;
+  out.objective = searched.expected_reward;
+  out.improved = out.objective > out.seed_objective;
+  out.mapping = out.improved ? searched.mapping : seed;
+  out.proved_optimal = searched.proved_optimal.value_or(false);
+  out.nodes_expanded = searched.nodes_expanded.value_or(0);
+  return out;
 }
 
 }  // namespace omniboost::sched

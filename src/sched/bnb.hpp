@@ -58,11 +58,41 @@ class BranchAndBoundScheduler final : public core::IScheduler {
   /// Runs the bounded depth-first search; see the anytime contract above.
   core::ScheduleResult schedule(const workload::Workload& w) override;
 
+  /// schedule() with an extra incumbent candidate: \p seed (when non-null)
+  /// is evaluated and adopted if it beats the greedy seed, so the anytime
+  /// result is never worse than the seed mapping. This is the background
+  /// re-search entry point — the serving daemon hands in the mapping
+  /// currently installed on a board and gets back either a certified
+  /// improvement or the seed itself. The seed's shape must match \p w
+  /// (std::invalid_argument otherwise).
+  core::ScheduleResult schedule_seeded(const workload::Workload& w,
+                                       const sim::Mapping* seed);
+
  private:
   std::string name_;
   const models::ModelZoo* zoo_;
   sim::AnalyticModel model_;  ///< owns a DeviceSpec copy; non-copyable
   BnbConfig config_;
 };
+
+/// Outcome of one budgeted background refinement pass.
+struct RefineResult {
+  sim::Mapping mapping;         ///< best known: the seed or an improvement
+  double objective = 0.0;       ///< analytic avg throughput of `mapping`
+  double seed_objective = 0.0;  ///< analytic avg throughput of the seed
+  bool improved = false;        ///< mapping strictly beats the seed
+  bool proved_optimal = false;  ///< the search ran to exhaustion
+  std::size_t nodes_expanded = 0;
+};
+
+/// One BnbConfig-budgeted refinement of \p seed for workload \p w on
+/// \p device: runs BranchAndBoundScheduler::schedule_seeded and reports
+/// whether the search strictly improved on the seed's analytic objective.
+/// Pure — no shared state, safe to run on a background thread while the
+/// caller keeps serving (the daemon's idle-time hook does exactly that).
+RefineResult anytime_refine(const models::ModelZoo& zoo,
+                            const device::DeviceSpec& device,
+                            const workload::Workload& w,
+                            const sim::Mapping& seed, const BnbConfig& config);
 
 }  // namespace omniboost::sched

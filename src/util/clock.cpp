@@ -1,0 +1,20 @@
+#include "util/clock.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace omniboost::util {
+
+PacedClock::PacedClock(double time_scale)
+    : start_(std::chrono::steady_clock::now()), scale_(time_scale) {
+  OB_REQUIRE(std::isfinite(time_scale) && time_scale > 0.0,
+             "PacedClock: time_scale must be finite and > 0");
+}
+
+double PacedClock::now_s() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double>(elapsed).count() * scale_;
+}
+
+}  // namespace omniboost::util

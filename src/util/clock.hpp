@@ -1,0 +1,35 @@
+#pragma once
+/// \file clock.hpp
+/// A monotonic wall clock with a speed dial, for the live serving daemon.
+///
+/// The daemon timestamps incoming commands from real elapsed time, but tests
+/// and CI cannot afford to idle in real time — a PacedClock therefore reports
+/// `elapsed_real_seconds * time_scale`, so `--time-scale 100` makes one real
+/// second read as 100 scenario seconds. The clock is monotonic by
+/// construction (std::chrono::steady_clock underneath, never the adjustable
+/// system clock), which is what keeps the recorded trace's timestamps
+/// non-decreasing — a workload::Scenario validity requirement.
+
+#include <chrono>
+
+namespace omniboost::util {
+
+/// Monotonic seconds-since-construction, scaled by a fixed factor.
+class PacedClock {
+ public:
+  /// \p time_scale: scenario seconds per real second; must be finite and
+  /// > 0 (std::invalid_argument otherwise). 1.0 is real time.
+  explicit PacedClock(double time_scale = 1.0);
+
+  /// Scaled elapsed seconds since construction. Monotonically non-decreasing
+  /// across calls.
+  double now_s() const;
+
+  double scale() const { return scale_; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  double scale_ = 1.0;
+};
+
+}  // namespace omniboost::util

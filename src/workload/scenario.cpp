@@ -232,6 +232,76 @@ Scenario random_scenario(util::Rng& rng, const ScenarioConfig& config) {
   return Scenario(std::move(events));
 }
 
+ScenarioEvent parse_event_clause(const std::string& clause, double time_s) {
+  const auto fail = [](const std::string& why) {
+    throw std::invalid_argument(why);
+  };
+  std::istringstream ls(clause);
+  ScenarioEvent e;
+  e.time_s = time_s;
+  std::string kind, model, word;
+  if (!(ls >> kind >> model)) fail("missing event kind or model name");
+  if (kind == "fail" || kind == "throttle" || kind == "recover") {
+    e.kind = kind == "fail"       ? ScenarioEventKind::kFailBoard
+             : kind == "throttle" ? ScenarioEventKind::kThrottleBoard
+                                  : ScenarioEventKind::kRecoverBoard;
+    if (model != "board")
+      fail("expected 'board <index>' after '" + kind + "'");
+    long long board = -1;
+    if (!(ls >> board) || board < 0) fail("'board' needs an index >= 0");
+    e.board = static_cast<std::size_t>(board);
+    if (e.kind == ScenarioEventKind::kThrottleBoard &&
+        (!(ls >> e.factor) || !(e.factor > 0.0) || !(e.factor <= 1.0) ||
+         !std::isfinite(e.factor)))
+      fail("'throttle' needs a factor in (0, 1]");
+    if (ls >> word && word[0] != '#')
+      fail("trailing tokens after fault clause");
+    return e;
+  }
+  if (kind == "arrive")
+    e.kind = ScenarioEventKind::kArrive;
+  else if (kind == "depart")
+    e.kind = ScenarioEventKind::kDepart;
+  else
+    fail("unknown event kind '" + kind + "'");
+  if (!models::parse_model_name(model, e.model))
+    fail("unknown model '" + model + "'");
+  if (ls >> word && word[0] != '#') {
+    if (word != "slo") fail("trailing tokens after model name");
+    if (e.kind != ScenarioEventKind::kArrive)
+      fail("'slo' is only legal on arrive events");
+    if (!(ls >> e.slo_ms) || !(e.slo_ms > 0.0) || !std::isfinite(e.slo_ms))
+      fail("'slo' needs a finite value > 0 (milliseconds)");
+    if (ls >> word && word[0] != '#') fail("trailing tokens after SLO");
+  }
+  return e;
+}
+
+std::string serialize_event_clause(const ScenarioEvent& e) {
+  char buf[64];
+  std::string out;
+  if (is_fault_event(e.kind)) {
+    out += e.kind == ScenarioEventKind::kFailBoard       ? "fail board "
+           : e.kind == ScenarioEventKind::kThrottleBoard ? "throttle board "
+                                                         : "recover board ";
+    out += std::to_string(e.board);
+    if (e.kind == ScenarioEventKind::kThrottleBoard) {
+      std::snprintf(buf, sizeof(buf), "%.17g", e.factor);
+      out += ' ';
+      out += buf;
+    }
+    return out;
+  }
+  out += e.kind == ScenarioEventKind::kArrive ? "arrive " : "depart ";
+  out += std::string(models::model_name(e.model));
+  if (e.slo_ms > 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.17g", e.slo_ms);
+    out += " slo ";
+    out += buf;
+  }
+  return out;
+}
+
 std::string serialize_scenario(const Scenario& scenario) {
   std::string out = "# omniboost scenario trace v1\n";
   char buf[64];
@@ -239,26 +309,8 @@ std::string serialize_scenario(const Scenario& scenario) {
     std::snprintf(buf, sizeof(buf), "%.17g", e.time_s);
     out += "at ";
     out += buf;
-    if (is_fault_event(e.kind)) {
-      out += e.kind == ScenarioEventKind::kFailBoard      ? " fail board "
-             : e.kind == ScenarioEventKind::kThrottleBoard ? " throttle board "
-                                                           : " recover board ";
-      out += std::to_string(e.board);
-      if (e.kind == ScenarioEventKind::kThrottleBoard) {
-        std::snprintf(buf, sizeof(buf), "%.17g", e.factor);
-        out += ' ';
-        out += buf;
-      }
-      out += '\n';
-      continue;
-    }
-    out += e.kind == ScenarioEventKind::kArrive ? " arrive " : " depart ";
-    out += std::string(models::model_name(e.model));
-    if (e.slo_ms > 0.0) {
-      std::snprintf(buf, sizeof(buf), "%.17g", e.slo_ms);
-      out += " slo ";
-      out += buf;
-    }
+    out += ' ';
+    out += serialize_event_clause(e);
     out += '\n';
   }
   return out;
@@ -278,45 +330,15 @@ Scenario parse_scenario(std::istream& in) {
     std::string word;
     if (!(ls >> word) || word[0] == '#') continue;  // blank or comment
     if (word != "at") fail("expected 'at <time> <arrive|depart> <model>'");
-    ScenarioEvent e;
-    if (!(ls >> e.time_s)) fail("missing or malformed timestamp");
-    std::string kind, model;
-    if (!(ls >> kind >> model)) fail("missing event kind or model name");
-    if (kind == "fail" || kind == "throttle" || kind == "recover") {
-      e.kind = kind == "fail"       ? ScenarioEventKind::kFailBoard
-               : kind == "throttle" ? ScenarioEventKind::kThrottleBoard
-                                    : ScenarioEventKind::kRecoverBoard;
-      if (model != "board")
-        fail("expected 'board <index>' after '" + kind + "'");
-      long long board = -1;
-      if (!(ls >> board) || board < 0) fail("'board' needs an index >= 0");
-      e.board = static_cast<std::size_t>(board);
-      if (e.kind == ScenarioEventKind::kThrottleBoard &&
-          (!(ls >> e.factor) || !(e.factor > 0.0) || !(e.factor <= 1.0) ||
-           !std::isfinite(e.factor)))
-        fail("'throttle' needs a factor in (0, 1]");
-      if (ls >> word && word[0] != '#')
-        fail("trailing tokens after fault clause");
-      events.push_back(e);
-      continue;
+    double time_s = 0.0;
+    if (!(ls >> time_s)) fail("missing or malformed timestamp");
+    std::string clause;
+    std::getline(ls, clause);  // the event body; parsed by the shared grammar
+    try {
+      events.push_back(parse_event_clause(clause, time_s));
+    } catch (const std::invalid_argument& err) {
+      fail(err.what());
     }
-    if (kind == "arrive")
-      e.kind = ScenarioEventKind::kArrive;
-    else if (kind == "depart")
-      e.kind = ScenarioEventKind::kDepart;
-    else
-      fail("unknown event kind '" + kind + "'");
-    if (!models::parse_model_name(model, e.model))
-      fail("unknown model '" + model + "'");
-    if (ls >> word && word[0] != '#') {
-      if (word != "slo") fail("trailing tokens after model name");
-      if (e.kind != ScenarioEventKind::kArrive)
-        fail("'slo' is only legal on arrive events");
-      if (!(ls >> e.slo_ms) || !(e.slo_ms > 0.0) || !std::isfinite(e.slo_ms))
-        fail("'slo' needs a finite value > 0 (milliseconds)");
-      if (ls >> word && word[0] != '#') fail("trailing tokens after SLO");
-    }
-    events.push_back(e);
   }
   return Scenario(std::move(events));
 }

@@ -166,10 +166,25 @@ struct ScenarioConfig {
 /// The first event is always an arrival at t = 0.
 Scenario random_scenario(util::Rng& rng, const ScenarioConfig& config = {});
 
+/// Parses one event clause — the body of a trace line after `at <time>`,
+/// e.g. "arrive VGG-19 slo 120" or "throttle board 0 0.5" — into a
+/// ScenarioEvent stamped with \p time_s. This is THE command grammar: the
+/// trace parser and the serving daemon's wire protocol both call it, so a
+/// command the daemon accepts is by construction a clause the trace format
+/// round-trips. Trailing `#` comments are ignored. Throws
+/// std::invalid_argument (no line prefix — callers add their own context).
+ScenarioEvent parse_event_clause(const std::string& clause, double time_s);
+
+/// Inverse of parse_event_clause: the clause body of one event, without the
+/// `at <time> ` prefix. SLO/throttle values print with "%.17g" so they
+/// round-trip bit-exactly.
+std::string serialize_event_clause(const ScenarioEvent& e);
+
 /// Writes the text trace form shown in the file header. Timestamps (and SLO
 /// values) are printed with "%.17g" so parse_scenario round-trips them
 /// bit-exactly; events without an SLO omit the `slo` clause entirely, so
-/// pre-SLO scenarios serialize byte-identically to the v1 format.
+/// pre-SLO scenarios serialize byte-identically to the v1 format. Each line
+/// is `at <time> ` + serialize_event_clause(e).
 std::string serialize_scenario(const Scenario& scenario);
 
 /// Parses the text trace format: one

@@ -1,0 +1,258 @@
+// End-to-end test of the live serving daemon: spawns `omniboost_cli serve
+// --listen` as a subprocess, drives it over loopback TCP with the clause
+// grammar, and checks (a) stream-conservation accounting, (b) that the
+// saved live trace replays offline to the identical conservation line, and
+// (c) that idle-time background re-search runs and installs improvements
+// without disturbing stream accounting. Self-skips when the CLI binary was
+// not built (OMNIBOOST_BUILD_TOOLS=OFF).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/net.hpp"
+
+namespace {
+
+using omniboost::util::TcpStream;
+using omniboost::util::tcp_connect;
+
+#ifndef OMNIBOOST_CLI_PATH
+TEST(DaemonE2E, RequiresCliBinary) {
+  GTEST_SKIP() << "omniboost_cli not built (OMNIBOOST_BUILD_TOOLS=OFF)";
+}
+#else
+
+/// A daemon subprocess handle: launched via popen (stdout piped back so the
+/// test can read the `listening on <port>` banner), torn down by a protocol
+/// `shutdown` + pclose.
+class DaemonProcess {
+ public:
+  explicit DaemonProcess(const std::string& extra_flags) {
+    const std::string cmd = std::string(OMNIBOOST_CLI_PATH) +
+                            " serve --listen 0 --scheduler greedy " +
+                            extra_flags + " 2>&1";
+    pipe_ = popen(cmd.c_str(), "r");
+    if (pipe_ == nullptr) return;
+    char line[256];
+    while (std::fgets(line, sizeof(line), pipe_) != nullptr) {
+      unsigned port = 0;
+      if (std::sscanf(line, "listening on %u", &port) == 1) {
+        port_ = static_cast<std::uint16_t>(port);
+        return;
+      }
+    }
+  }
+
+  ~DaemonProcess() {
+    if (pipe_ != nullptr) pclose(pipe_);
+  }
+
+  bool running() const { return pipe_ != nullptr && port_ != 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Sends `shutdown` and reaps the subprocess; returns its exit status.
+  int shutdown() {
+    TcpStream s = tcp_connect("127.0.0.1", port_);
+    s.send_line("shutdown");
+    std::string line;
+    s.recv_line(&line, 5000);
+    const int status = pclose(pipe_);
+    pipe_ = nullptr;
+    return status;
+  }
+
+ private:
+  FILE* pipe_ = nullptr;
+  std::uint16_t port_ = 0;
+};
+
+struct Reply {
+  std::vector<std::string> body;
+  bool ok = false;
+  std::string error;
+};
+
+/// One command round-trip on a fresh connection (the daemon serves clients
+/// sequentially and survives disconnects, so per-command connections also
+/// exercise the reconnect path).
+Reply command(std::uint16_t port, const std::string& line) {
+  TcpStream s = tcp_connect("127.0.0.1", port);
+  s.send_line(line);
+  Reply r;
+  std::string got;
+  while (s.recv_line(&got, 10000) == TcpStream::RecvStatus::kLine) {
+    if (got == "ok") {
+      r.ok = true;
+      return r;
+    }
+    if (got == "err" || got.rfind("err ", 0) == 0) {
+      r.error = got;
+      return r;
+    }
+    r.body.push_back(got);
+  }
+  r.error = "connection closed before terminator";
+  return r;
+}
+
+/// Finds the `conservation: ...` line in a reply body / text blob.
+std::string conservation_line(const std::vector<std::string>& lines) {
+  for (const std::string& l : lines)
+    if (l.rfind("conservation:", 0) == 0) return l;
+  return "";
+}
+
+/// Parses `key=value` integers out of a status line.
+std::size_t field(const std::string& line, const std::string& key) {
+  const std::string needle = key + "=";
+  const std::size_t at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " not in: " << line;
+  if (at == std::string::npos) return 0;
+  return static_cast<std::size_t>(
+      std::strtoull(line.c_str() + at + needle.size(), nullptr, 10));
+}
+
+/// Runs the CLI offline on a saved trace and returns its conservation line.
+std::string offline_conservation(const std::string& trace_path,
+                                 const std::string& flags) {
+  const std::string cmd = std::string(OMNIBOOST_CLI_PATH) +
+                          " serve --scenario " + trace_path + " " + flags +
+                          " --scheduler greedy 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return "";
+  std::vector<std::string> lines;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    std::string l(buf);
+    while (!l.empty() && (l.back() == '\n' || l.back() == '\r')) l.pop_back();
+    lines.push_back(l);
+  }
+  pclose(pipe);
+  return conservation_line(lines);
+}
+
+TEST(DaemonE2E, LiveSessionConservesStreamsAndReplaysBitExact) {
+  // x200 wall-clock pacing: a ~1s real session spans ~200 scenario seconds.
+  DaemonProcess daemon("--boards 2 --time-scale 200");
+  ASSERT_TRUE(daemon.running()) << "daemon failed to start";
+  const std::uint16_t port = daemon.port();
+
+  // A session touching every command class: arrivals (with and without
+  // SLO), a board failure (forcing failover), recovery, and departures.
+  for (const char* cmd :
+       {"arrive MobileNet slo 100", "arrive AlexNet", "arrive ResNet-50",
+        "fail board 0", "recover board 0", "depart AlexNet"}) {
+    const Reply r = command(port, cmd);
+    EXPECT_TRUE(r.ok) << cmd << " -> " << r.error;
+  }
+
+  // Malformed commands produce clean `err` replies on a live daemon — and
+  // the daemon keeps serving afterwards.
+  for (const char* bad :
+       {"arrive NoSuchNet", "arrive MobileNet", "depart MobileNet extra",
+        "fail board 99", "throttle board 0 2", "save-trace",
+        "at 3 arrive VGG-19"}) {
+    const Reply r = command(port, bad);
+    EXPECT_FALSE(r.ok) << "accepted: " << bad;
+    EXPECT_EQ(r.error.rfind("err", 0), 0u) << bad;
+  }
+
+  const Reply status = command(port, "status");
+  ASSERT_TRUE(status.ok) << status.error;
+  const std::string live = conservation_line(status.body);
+  ASSERT_FALSE(live.empty());
+  // Conservation: every admitted stream is served to departure, shed by a
+  // failover, or still resident.
+  EXPECT_EQ(field(live, "admitted"),
+            field(live, "departures") + field(live, "shed") +
+                field(live, "resident"));
+  EXPECT_EQ(field(live, "offered"),
+            field(live, "admitted") + field(live, "rejected"));
+  EXPECT_EQ(field(live, "offered"), 3u);
+  EXPECT_EQ(field(live, "departures"), 1u);
+
+  const std::string trace = ::testing::TempDir() + "daemon_live.trace";
+  const Reply saved = command(port, "save-trace " + trace);
+  EXPECT_TRUE(saved.ok) << saved.error;
+  EXPECT_EQ(daemon.shutdown(), 0);
+
+  // Replay parity: the recorded trace through the offline Cluster replayer
+  // (same binary, same scheduler/fleet flags) reproduces the daemon's
+  // stream accounting verbatim. Greedy decisions depend only on the mix,
+  // so live and offline decisions coincide epoch-for-epoch.
+  const std::string offline = offline_conservation(trace, "--boards 2");
+  EXPECT_EQ(offline, live);
+}
+
+TEST(DaemonE2E, IdleTimeBackgroundResearchInstallsImprovements) {
+  // Two boards, two 2-DNN mixes where greedy leaves headroom, generous
+  // slices: idle polling must run background BnB slices and install a
+  // strictly-improving mapping — without touching stream accounting.
+  DaemonProcess daemon("--boards 2 --time-scale 100 --background-slice-ms 50");
+  ASSERT_TRUE(daemon.running()) << "daemon failed to start";
+  const std::uint16_t port = daemon.port();
+
+  for (const char* cmd : {"arrive VGG-19", "arrive ResNet-50",
+                          "arrive AlexNet", "arrive MobileNet"}) {
+    const Reply r = command(port, cmd);
+    EXPECT_TRUE(r.ok) << cmd << " -> " << r.error;
+  }
+
+  // Poll `report` until a background search has been accounted (idle ticks
+  // happen between commands; several hundred ms of real idle time is many
+  // 50 ms slices).
+  std::size_t searches = 0, improvements = 0;
+  std::string live;
+  for (int tries = 0; tries < 100; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const Reply rep = command(port, "report");
+    ASSERT_TRUE(rep.ok) << rep.error;
+    searches = improvements = 0;
+    for (const std::string& l : rep.body) {
+      if (l.rfind("background:", 0) == 0) {
+        searches = field(l, "searches");
+        improvements = field(l, "improvements");
+      }
+    }
+    live = conservation_line(rep.body);
+    if (improvements >= 1) break;
+  }
+  EXPECT_GE(searches, 1u) << "no background search ran in ~5s of idle time";
+  EXPECT_GE(improvements, 1u)
+      << "background re-search never improved on greedy for VGG-19+ResNet-50";
+
+  // Installs must not disturb stream accounting.
+  ASSERT_FALSE(live.empty());
+  EXPECT_EQ(field(live, "admitted"), 4u);
+  EXPECT_EQ(field(live, "resident"), 4u);
+  EXPECT_EQ(field(live, "departures"), 0u);
+
+  // The saved trace contains ONLY the operator's events (installs are not
+  // scenario events) — two arrivals, replayable offline.
+  const std::string trace = ::testing::TempDir() + "daemon_bg.trace";
+  EXPECT_TRUE(command(port, "save-trace " + trace).ok);
+  EXPECT_EQ(daemon.shutdown(), 0);
+
+  std::ifstream in(trace);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("arrive VGG-19"), std::string::npos);
+  EXPECT_NE(text.find("arrive ResNet-50"), std::string::npos);
+  EXPECT_EQ(text.find("install"), std::string::npos);
+  const std::string offline = offline_conservation(trace, "--boards 2");
+  EXPECT_EQ(offline, live);
+}
+
+#endif  // OMNIBOOST_CLI_PATH
+
+}  // namespace

@@ -20,6 +20,8 @@
 ///   omniboost_cli serve --events 12 --slo 150 --migration-cost 1 --json
 ///   omniboost_cli serve --boards 3 --arrival poisson:0.5 --scheduler greedy
 ///   omniboost_cli serve --boards 4 --arrival flash:0.2:30:10:8 --json
+///   omniboost_cli serve --listen 0 --boards 2 --scheduler greedy
+///   omniboost_cli client localhost:7070 arrive MobileNet slo 100
 
 #include <algorithm>
 #include <cstdio>
@@ -50,10 +52,13 @@
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/net.hpp"
 #include "workload/arrival.hpp"
 #include "workload/faults.hpp"
 #include "workload/scenario.hpp"
 #include "workload/workload.hpp"
+
+#include "daemon.hpp"
 
 namespace {
 
@@ -489,7 +494,21 @@ int run_serve(int argc, char** argv) {
       .option("decision-deadline-ms",
               "wrap every scheduler in a wall-clock decision deadline with "
               "Greedy fallback (sched::FallbackScheduler); 0 serves every "
-              "epoch via Greedy");
+              "epoch via Greedy")
+      .option("listen",
+              "run as a live serving daemon on this loopback TCP port "
+              "instead of replaying a scenario (0 = ephemeral, printed as "
+              "`listening on <port>`); drive it with `omniboost_cli client`")
+      .option("time-scale",
+              "daemon: scenario seconds per elapsed real second — commands "
+              "are timestamped at real-elapsed * time-scale (tests use 100 "
+              "to compress idle time)",
+              "1")
+      .option("background-slice-ms",
+              "daemon: wall-clock budget of each idle-time background "
+              "re-search slice (branch-and-bound refinement of an installed "
+              "mapping); 0 disables background re-search",
+              "25");
   declare_common_options(args);
   args.flag("cold",
             "disable warm-started rescheduling: every event gets a cold "
@@ -636,6 +655,43 @@ int run_serve(int argc, char** argv) {
     return sched::make_greedy_fallback(std::move(inner), zoo, dev, fc);
   };
 
+  // --- Daemon mode: hand the substrate to the live serving loop. The
+  // scenario machinery above is bypassed entirely — a daemon's scenario is
+  // whatever its clients send, recorded live and saved via `save-trace`.
+  if (args.has("listen")) {
+    const long long port_raw = args.get_int("listen");
+    if (port_raw < 0 || port_raw > 65535)
+      throw std::invalid_argument("--listen must be a port in 0..65535");
+    core::ClusterConfig cc;
+    cc.serving = sc;
+    cc.migrate = !args.get_flag("no-migrate");
+    cc.rebalance_on_recovery = args.get_flag("rebalance");
+    cc.cross_board_gbps = args.get_double("cross-gbps");
+    if (!(cc.cross_board_gbps > 0.0))
+      throw std::invalid_argument("--cross-gbps must be > 0");
+    const core::Cluster cluster(zoo, core::make_heterogeneous_fleet(n_boards),
+                                cc);
+    const auto policy = core::make_placement_policy(args.get("placement"));
+    const core::SchedulerFactory factory =
+        [&](std::size_t i) -> std::unique_ptr<core::IScheduler> {
+      return guard(
+          make_scheduler(
+              scheduler_kind, zoo, cluster.boards()[i].device, embedding,
+              estimator, static_cast<std::size_t>(args.get_int("budget")),
+              static_cast<std::size_t>(args.get_int("depth")),
+              static_cast<std::size_t>(args.get_int("batch")), seed,
+              args.get_double("rollout-fraction"),
+              args.get_flag("slo-hard-prune"), bnb_timeout_ms),
+          cluster.boards()[i].device);
+    };
+    daemon::DaemonConfig dc;
+    dc.port = static_cast<std::uint16_t>(port_raw);
+    dc.time_scale = args.get_double("time-scale");
+    dc.background_slice_ms = args.get_double("background-slice-ms");
+    dc.background = dc.background_slice_ms > 0.0;
+    return daemon::run_daemon(zoo, cluster, factory, *policy, dc);
+  }
+
   // --- Fleet mode: route arrivals across a heterogeneous cluster. A fleet
   // of one stays on the plain ServingRuntime path below (bit-identical to
   // the pre-cluster CLI) — unless the scenario carries fault events, which
@@ -725,6 +781,10 @@ int run_serve(int argc, char** argv) {
               util::Json::number(rep.total_des_replays));
       out.set("total_replay_hits",
               util::Json::number(rep.total_replay_hits));
+      out.set("background_searches",
+              util::Json::number(rep.background_searches));
+      out.set("background_improvements",
+              util::Json::number(rep.background_improvements));
       std::printf("%s\n", out.dump(2).c_str());
       return 0;
     }
@@ -733,50 +793,9 @@ int run_serve(int argc, char** argv) {
                 "%zu boards | warm-started rescheduling: %s\n",
                 scenario.describe().c_str(), scheduler_kind.c_str(),
                 policy->name().c_str(), n_boards, warm ? "on" : "off");
-    util::Table table({"board", "epochs", "decisions", "mean T inf/s",
-                       "churn", "SLO"});
-    for (std::size_t i = 0; i < rep.boards.size(); ++i) {
-      const core::ServingReport& br = rep.boards[i];
-      table.add_row(
-          {rep.board_names[i], std::to_string(br.epochs.size()),
-           std::to_string(br.decisions), util::fmt(br.mean_throughput, 2),
-           util::fmt(100.0 * br.mean_churn, 1) + "%",
-           br.total_slo_streams == 0
-               ? "-"
-               : std::to_string(br.total_slo_violations) + "/" +
-                     std::to_string(br.total_slo_streams)});
-    }
-    table.print(std::cout);
-    std::printf("\nfleet: %zu offered, %zu admitted, %zu rejected "
-                "(%.1f%%), %zu departures\n",
-                rep.offered_streams, rep.admitted_streams,
-                rep.rejected_streams, 100.0 * rep.rejection_rate,
-                rep.departures);
-    std::printf("fleet throughput %.3f inf/s | %zu decisions | %.3f s "
-                "deciding\n",
-                rep.fleet_throughput, rep.decisions,
-                rep.total_decision_seconds);
-    if (rep.migrations > 0)
-      std::printf("migrations: %zu rescues, %.1f ms cross-board stall, "
-                  "%.1f MB weights moved\n",
-                  rep.migrations, 1e3 * rep.cross_board_stall_s,
-                  rep.cross_board_weight_bytes / 1e6);
-    if (rep.board_failures + rep.board_throttles + rep.board_recoveries > 0) {
-      std::printf(
-          "faults: %zu failures, %zu throttles, %zu recoveries | "
-          "%zu failovers (%.1f ms stall), %zu shed, %zu rebalanced\n",
-          rep.board_failures, rep.board_throttles, rep.board_recoveries,
-          rep.failovers, 1e3 * rep.failover_stall_s, rep.shed_streams,
-          rep.rebalances);
-      std::printf(
-          "degradation: %.1f board-seconds down, %zu degraded epochs, "
-          "%zu streams resident at end\n",
-          rep.downtime_board_s, rep.degraded_epochs, rep.resident_streams);
-    }
-    if (rep.total_slo_streams > 0)
-      std::printf("SLO: %zu violations over %zu stream-epochs under an "
-                  "SLO\n",
-                  rep.total_slo_violations, rep.total_slo_streams);
+    // The same formatter renders the daemon's `status` replies, so offline
+    // replays and live sessions are textually comparable line-for-line.
+    std::fputs(core::format_cluster_report(rep).c_str(), stdout);
     return 0;
   }
 
@@ -909,12 +928,57 @@ int run_serve(int argc, char** argv) {
   return 0;
 }
 
+/// The `client` subcommand: one command to a running daemon, reply to
+/// stdout. `omniboost_cli client <host:port> <command...>` — the command
+/// words are joined with spaces and sent as one protocol line; body lines
+/// print to stdout and the exit code mirrors the `ok`/`err` terminator.
+int run_client(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: omniboost_cli client <host:port> <command...>\n"
+                 "e.g.   omniboost_cli client localhost:7070 arrive "
+                 "MobileNet slo 100\n");
+    return 2;
+  }
+  const std::string target = argv[1];
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == target.size())
+    throw std::invalid_argument("client: target must be <host>:<port>, got '" +
+                                target + "'");
+  const std::string host = target.substr(0, colon);
+  const int port = std::stoi(target.substr(colon + 1));
+  if (port < 1 || port > 65535)
+    throw std::invalid_argument("client: port must be in 1..65535");
+
+  std::string command;
+  for (int i = 2; i < argc; ++i) {
+    if (i > 2) command += ' ';
+    command += argv[i];
+  }
+  util::TcpStream stream =
+      util::tcp_connect(host, static_cast<std::uint16_t>(port));
+  stream.send_line(command);
+  std::string line;
+  while (stream.recv_line(&line) == util::TcpStream::RecvStatus::kLine) {
+    if (line == "ok") return 0;
+    if (line == "err" || line.rfind("err ", 0) == 0) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+      return 1;
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::fprintf(stderr, "error: daemon closed the connection mid-reply\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     if (argc > 1 && std::string(argv[1]) == "serve")
       return run_serve(argc - 1, argv + 1);
+    if (argc > 1 && std::string(argv[1]) == "client")
+      return run_client(argc - 1, argv + 1);
     return run(argc, argv);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n(use --help for usage)\n", e.what());

@@ -76,6 +76,52 @@ echo "== property lane =="
 echo "== chaos lane =="
 (cd "$build_dir" && ctest --output-on-failure --label-regex chaos -j "$jobs")
 
+# Daemon smoke: boot the live serving daemon on an ephemeral loopback port at
+# x100 wall-clock pacing, drive it with the client (arrive/fail/depart), save
+# the recorded trace, shut down, then replay the trace offline and assert the
+# daemon's `conservation:` accounting line reproduces verbatim. This is the
+# shell-level double of tests/daemon_test.cpp: it additionally pins the CLI
+# surface itself (flag names, banner format, client exit codes).
+if [ -x "$build_dir/omniboost_cli" ]; then
+  echo "== daemon smoke =="
+  smoke_out="$build_dir/daemon-smoke"
+  mkdir -p "$smoke_out"
+  "$build_dir/omniboost_cli" serve --listen 0 --boards 2 --scheduler greedy \
+    --time-scale 100 > "$smoke_out/daemon.log" 2>&1 &
+  daemon_pid=$!
+  port=""
+  tries=0
+  while [ -z "$port" ] && [ "$tries" -lt 100 ]; do
+    port=$(sed -n 's/^listening on //p' "$smoke_out/daemon.log")
+    [ -n "$port" ] || { tries=$((tries + 1)); sleep 0.1; }
+  done
+  if [ -z "$port" ]; then
+    echo "run_tier1.sh: daemon never printed its port" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+  fi
+  cli() { "$build_dir/omniboost_cli" client "localhost:$port" "$@"; }
+  cli arrive MobileNet slo 100
+  cli arrive AlexNet
+  cli fail board 0
+  cli depart MobileNet
+  cli status > "$smoke_out/status.txt"
+  cli save-trace "$smoke_out/live.trace"
+  cli shutdown
+  wait "$daemon_pid"
+  live=$(grep '^conservation:' "$smoke_out/status.txt")
+  "$build_dir/omniboost_cli" serve --scenario "$smoke_out/live.trace" \
+    --boards 2 --scheduler greedy > "$smoke_out/replay.txt" 2>&1
+  offline=$(grep '^conservation:' "$smoke_out/replay.txt")
+  if [ "$live" != "$offline" ]; then
+    echo "run_tier1.sh: daemon/offline conservation mismatch" >&2
+    echo "  live:    $live" >&2
+    echo "  offline: $offline" >&2
+    exit 1
+  fi
+  echo "daemon smoke: $live"
+fi
+
 if [ "$bench_smoke" -eq 1 ]; then
   echo "== bench smoke =="
   cmake --build "$build_dir" -j "$jobs" --target bench_all
